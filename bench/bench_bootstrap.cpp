@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Table VI reproduction: bootstrapping time and amortized time
+ * (us / (slot * remaining level)) across slot counts, FIDESlib
+ * (all optimizations) vs the Baseline-sim configuration (naive `%`
+ * arithmetic, no fusion, no limb batching, flat NTT -- the shape of
+ * an unoptimized CPU implementation on the same substrate).
+ *
+ * Default: bootstrappable test set at logN=12 with slots
+ * {64, 256, 1024}; FIDES_PAPER_SCALE=1 selects the paper's
+ * [16, 29, 59, 4] and slots {64, 512, 16384, 32768} (hours on one
+ * host core -- the paper ran an RTX 4090).
+ */
+
+#include "bench_common.hpp"
+#include "ckks/bootstrap.hpp"
+
+namespace
+{
+
+using namespace fideslib;
+using namespace fideslib::bench;
+
+Parameters
+bootParams()
+{
+    if (paperScale())
+        return Parameters::paper16();
+    return Parameters::testBoot();
+}
+
+std::vector<u32>
+slotSweep(const Parameters &p)
+{
+    if (paperScale())
+        return {64, 512, 16384, 32768};
+    u32 maxSlots = static_cast<u32>(p.ringDegree() / 4);
+    return {64, 256, std::min(1024u, maxSlots)};
+}
+
+struct BootSetup
+{
+    std::unique_ptr<Bootstrapper> boot;
+    Ciphertext ct;
+
+    BootSetup(BenchContext &b, u32 slots)
+        : ct(b.randomCiphertext(0, slots))
+    {
+        BootstrapConfig cfg;
+        cfg.slots = slots;
+        cfg.levelBudgetC2S = 2;
+        cfg.levelBudgetS2C = 2;
+        boot = std::make_unique<Bootstrapper>(*b.eval, cfg);
+        b.keygen->addRotationKeys(*b.keys, boot->requiredRotations());
+        if (!b.keys->galois.count(b.ctx->conjugateGaloisElt())) {
+            b.keys->galois.emplace(b.ctx->conjugateGaloisElt(),
+                                   b.keygen->makeConjugationKey());
+        }
+    }
+};
+
+BootSetup &
+setup(u32 slots)
+{
+    static std::map<u32, std::unique_ptr<BootSetup>> cache;
+    auto it = cache.find(slots);
+    if (it == cache.end()) {
+        auto &b = cachedContext("boot", bootParams(), {}, true);
+        it = cache.emplace(slots,
+                           std::make_unique<BootSetup>(b, slots))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+runBootstrap(benchmark::State &state, bool baselineSim)
+{
+    const u32 slots = static_cast<u32>(state.range(0));
+    auto &b = cachedContext("boot", bootParams(), {}, true);
+    auto &s = setup(slots);
+
+    if (baselineSim) {
+        b.ctx->setFusion(false);
+        b.ctx->setLimbBatch(0);
+        b.ctx->setNttSchedule(NttSchedule::Flat);
+        b.ctx->setModMulKind(ModMulKind::Naive);
+    }
+    u32 outLevel = 0;
+    Device::instance().resetCounters();
+    for (auto _ : state) {
+        auto fresh = s.boot->bootstrap(s.ct);
+        outLevel = fresh.level();
+        benchmark::DoNotOptimize(fresh.c0.limb(0).data());
+    }
+    reportPlatformModel(state, state.iterations());
+    if (baselineSim) {
+        Parameters p = bootParams();
+        b.ctx->setFusion(p.fusion);
+        b.ctx->setLimbBatch(p.limbBatch);
+        b.ctx->setNttSchedule(p.nttSchedule);
+        b.ctx->setModMulKind(p.modMul);
+    }
+    state.counters["slots"] = slots;
+    state.counters["levels_remaining"] = outLevel;
+    state.SetLabel(baselineSim ? "Baseline-sim" : "FIDESlib");
+}
+
+void
+BM_BootstrapFideslib(benchmark::State &state)
+{
+    runBootstrap(state, false);
+}
+
+void
+BM_BootstrapBaselineSim(benchmark::State &state)
+{
+    runBootstrap(state, true);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Parameters p = bootParams();
+    for (u32 slots : slotSweep(p)) {
+        ::benchmark::RegisterBenchmark("BM_BootstrapFideslib",
+                                       BM_BootstrapFideslib)
+            ->Arg(slots)
+            ->Unit(::benchmark::kMillisecond)
+            ->Iterations(1);
+        ::benchmark::RegisterBenchmark("BM_BootstrapBaselineSim",
+                                       BM_BootstrapBaselineSim)
+            ->Arg(slots)
+            ->Unit(::benchmark::kMillisecond)
+            ->Iterations(1);
+    }
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

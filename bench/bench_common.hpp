@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shared benchmark scaffolding: lazily-constructed cached contexts
+ * (key generation is expensive), the paper-scale toggle, platform
+ * roofline reporting from the device counters, and random ciphertext
+ * factories.
+ *
+ * Every benchmark binary regenerates one table or figure of the
+ * paper. Default parameter sets are container-friendly but keep the
+ * paper's sweep structure; set FIDES_PAPER_SCALE=1 to run the paper's
+ * exact sets ([logN, L, Delta, dnum] = [16, 29, 59, 4] etc.).
+ */
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "ckks/encryptor.hpp"
+#include "ckks/evaluator.hpp"
+#include "ckks/keygen.hpp"
+
+namespace fideslib::bench
+{
+
+using namespace fideslib::ckks;
+
+inline bool
+paperScale()
+{
+    const char *env = std::getenv("FIDES_PAPER_SCALE");
+    return env && env[0] == '1';
+}
+
+/** The benchmark parameter set: paper headline or scaled default. */
+inline Parameters
+benchParams()
+{
+    if (paperScale())
+        return Parameters::paper16(); // [16, 29, 59, 4]
+    return Parameters::paper14();     // [14, 13, 49, 3]
+}
+
+/** A context plus keys, built once per (params, rotations) request. */
+struct BenchContext
+{
+    std::unique_ptr<Context> ctx;
+    std::unique_ptr<KeyGen> keygen;
+    std::unique_ptr<KeyBundle> keys;
+    std::unique_ptr<Evaluator> eval;
+
+    explicit BenchContext(const Parameters &p,
+                          const std::vector<i64> &rotations = {1},
+                          bool conj = false)
+    {
+        ctx = std::make_unique<Context>(p);
+        keygen = std::make_unique<KeyGen>(*ctx);
+        keys = std::make_unique<KeyBundle>(
+            keygen->makeBundle(rotations, conj));
+        eval = std::make_unique<Evaluator>(*ctx, *keys);
+    }
+
+    Ciphertext
+    randomCiphertext(u32 level, u32 slots = 0) const
+    {
+        if (slots == 0)
+            slots = ctx->degree() / 2;
+        Encoder enc(*ctx);
+        Encryptor encr(*ctx, keys->pk);
+        std::vector<std::complex<double>> z(slots);
+        for (std::size_t i = 0; i < slots; ++i)
+            z[i] = {std::cos(0.37 * i), std::sin(0.91 * i)};
+        return encr.encrypt(enc.encode(z, slots, level));
+    }
+
+    Plaintext
+    randomPlaintext(u32 level, u32 slots = 0) const
+    {
+        if (slots == 0)
+            slots = ctx->degree() / 2;
+        Encoder enc(*ctx);
+        std::vector<std::complex<double>> z(slots);
+        for (std::size_t i = 0; i < slots; ++i)
+            z[i] = {std::sin(0.53 * i), std::cos(0.11 * i)};
+        return enc.encode(z, slots, level);
+    }
+};
+
+/** Process-wide cache keyed by a caller-chosen tag. */
+inline BenchContext &
+cachedContext(const std::string &tag, const Parameters &p,
+              const std::vector<i64> &rotations = {1},
+              bool conj = false)
+{
+    static std::map<std::string, std::unique_ptr<BenchContext>> cache;
+    auto it = cache.find(tag);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(tag, std::make_unique<BenchContext>(
+                                   p, rotations, conj))
+                 .first;
+    }
+    return *it->second;
+}
+
+/**
+ * Attaches the roofline-modeled per-platform times (paper Table IV)
+ * for the work recorded by the device counters during one iteration.
+ */
+inline void
+reportPlatformModel(::benchmark::State &state, u64 iterations)
+{
+    if (iterations == 0)
+        return;
+    const auto &counters = Device::instance().counters();
+    KernelCounters per{counters.launches / iterations,
+                       counters.bytesRead / iterations,
+                       counters.bytesWritten / iterations,
+                       counters.intOps / iterations};
+    for (const auto &prof : platformTable()) {
+        state.counters["model_us_" + prof.name] =
+            prof.modeledTimeUs(per);
+    }
+    state.counters["kernel_launches"] =
+        static_cast<double>(per.launches);
+}
+
+} // namespace fideslib::bench

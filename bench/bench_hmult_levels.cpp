@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 6 reproduction: HMult (tensor + relinearization) as a
+ * function of the number of processed limbs. The hybrid key-switching
+ * digit count drops as levels are consumed, so the curve shows a
+ * speed-up staircase each time a digit is dropped -- the `digits`
+ * counter makes the staircase visible in the output.
+ */
+
+#include "bench_common.hpp"
+
+namespace
+{
+
+using namespace fideslib;
+using namespace fideslib::bench;
+
+void
+BM_HMultAtLevel(benchmark::State &state)
+{
+    auto &b = cachedContext("fig6", benchParams(), {1});
+    const u32 level = static_cast<u32>(state.range(0));
+    auto a = b.randomCiphertext(level);
+    auto c = b.randomCiphertext(level);
+    Device::instance().resetCounters();
+    for (auto _ : state) {
+        auto r = b.eval->multiply(a, c);
+        benchmark::DoNotOptimize(r.c0.limb(0).data());
+    }
+    reportPlatformModel(state, state.iterations());
+    state.counters["limbs"] = level + 1;
+    state.counters["digits"] = b.ctx->numDigits(level);
+}
+
+void
+registerSweep()
+{
+    Parameters p = benchParams();
+    for (u32 level = 2; level <= p.multDepth; ++level) {
+        ::benchmark::RegisterBenchmark("BM_HMultAtLevel",
+                                       BM_HMultAtLevel)
+            ->Arg(level)
+            ->Unit(::benchmark::kMicrosecond);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerSweep();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 8 reproduction: HMult at maximum level across the paper's
+ * parameter sets [logN, L, Delta, dnum]:
+ *   [13, 5, 36, 2], [14, 13, 49, 3], [15, 21, 54, 4],
+ *   and [16, 29, 59, 4] when FIDES_PAPER_SCALE=1.
+ * Key-switching key sizes grow from ~MBs to hundreds of MBs across
+ * the sets, reproducing the cache-capacity effects the paper
+ * discusses; the `ksk_mb` counter reports the key size.
+ */
+
+#include "bench_common.hpp"
+
+namespace
+{
+
+using namespace fideslib;
+using namespace fideslib::bench;
+
+Parameters
+paramSet(int idx)
+{
+    switch (idx) {
+      case 0: return Parameters::paper13();
+      case 1: return Parameters::paper14();
+      case 2: return Parameters::paper15();
+      default: return Parameters::paper16();
+    }
+}
+
+const char *const kSetNames[] = {"[13,5,36,2]", "[14,13,49,3]",
+                                 "[15,21,54,4]", "[16,29,59,4]"};
+
+void
+BM_HMultParamSet(benchmark::State &state)
+{
+    const int idx = static_cast<int>(state.range(0));
+    Parameters p = paramSet(idx);
+    auto &b = cachedContext(std::string("fig8-") + kSetNames[idx], p,
+                            {1});
+    const u32 L = b.ctx->maxLevel();
+    auto a = b.randomCiphertext(L);
+    auto c = b.randomCiphertext(L);
+    Device::instance().resetCounters();
+    for (auto _ : state) {
+        auto r = b.eval->multiply(a, c);
+        benchmark::DoNotOptimize(r.c0.limb(0).data());
+    }
+    reportPlatformModel(state, state.iterations());
+    // Key-switching key size: dnum digit pairs over Q*P.
+    double limbs = (L + 1 + b.ctx->numSpecial());
+    double mb = 2.0 * p.dnum * limbs * p.ringDegree() * 8.0 / 1e6;
+    state.counters["ksk_mb"] = mb;
+    state.SetLabel(kSetNames[idx]);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto *bench = ::benchmark::RegisterBenchmark("BM_HMultParamSet",
+                                                 BM_HMultParamSet);
+    bench->Unit(::benchmark::kMicrosecond);
+    bench->Arg(0)->Arg(1)->Arg(2);
+    if (fideslib::bench::paperScale())
+        bench->Arg(3);
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

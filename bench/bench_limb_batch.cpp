@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 7 reproduction: HMult at maximum level as a function of the
+ * limb-batch size (2..12). Small batches maximize temporal locality
+ * but multiply the kernel-launch count; large batches amortize launch
+ * cost but spill the working set out of cache. The simulated launch
+ * overhead (2 us, in the range of real CUDA launch latency) makes the
+ * trade-off measurable on the host; the per-platform roofline model
+ * reproduces the paper's observation that higher-throughput GPUs peak
+ * at larger batch sizes.
+ */
+
+#include "bench_common.hpp"
+
+namespace
+{
+
+using namespace fideslib;
+using namespace fideslib::bench;
+
+void
+BM_HMultLimbBatch(benchmark::State &state)
+{
+    auto &b = cachedContext("fig7", benchParams(), {1});
+    const u32 batch = static_cast<u32>(state.range(0));
+    const u32 L = b.ctx->maxLevel();
+    auto a = b.randomCiphertext(L);
+    auto c = b.randomCiphertext(L);
+
+    b.ctx->setLimbBatch(batch);
+    Device::instance().setLaunchOverheadNs(2000);
+    Device::instance().resetCounters();
+    for (auto _ : state) {
+        auto r = b.eval->multiply(a, c);
+        benchmark::DoNotOptimize(r.c0.limb(0).data());
+    }
+    reportPlatformModel(state, state.iterations());
+    Device::instance().setLaunchOverheadNs(0);
+    b.ctx->setLimbBatch(benchParams().limbBatch);
+    state.counters["limb_batch"] = batch;
+}
+
+} // namespace
+
+BENCHMARK(BM_HMultLimbBatch)
+    ->DenseRange(2, 12, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

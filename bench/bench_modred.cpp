@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Table III reproduction: throughput of the four fast modular
+ * reduction strategies (naive `%`, improved Barrett, Montgomery,
+ * Shoup) on 59-bit prime moduli. The paper compares their wide/low
+ * multiplication counts; this harness measures the resulting
+ * throughput on bulk modular multiplication, the shape that matters
+ * for the element-wise CKKS kernels.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/modarith.hpp"
+#include "core/primes.hpp"
+#include "core/rng.hpp"
+
+namespace
+{
+
+using namespace fideslib;
+
+constexpr std::size_t kVecLen = 1 << 14;
+
+struct Data
+{
+    Modulus mod;
+    std::vector<u64> a, b, bShoup, aMont, bMont, out;
+
+    explicit Data(u32 bits)
+        : mod(generatePrimeBelow(bits, 2))
+    {
+        Prng prng(bits);
+        a.resize(kVecLen);
+        b.resize(kVecLen);
+        sampleUniform(prng, mod.value, a);
+        sampleUniform(prng, mod.value, b);
+        bShoup.resize(kVecLen);
+        aMont.resize(kVecLen);
+        bMont.resize(kVecLen);
+        for (std::size_t i = 0; i < kVecLen; ++i) {
+            bShoup[i] = shoupPrecompute(b[i], mod.value);
+            aMont[i] = toMontgomery(a[i], mod);
+            bMont[i] = toMontgomery(b[i], mod);
+        }
+        out.resize(kVecLen);
+    }
+};
+
+Data &
+data(u32 bits)
+{
+    static Data d59(59);
+    static Data d49(49);
+    static Data d36(36);
+    switch (bits) {
+      case 49: return d49;
+      case 36: return d36;
+      default: return d59;
+    }
+}
+
+void
+BM_MulModNaive(benchmark::State &state)
+{
+    Data &d = data(state.range(0));
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < kVecLen; ++i)
+            d.out[i] = mulModNaive(d.a[i], d.b[i], d.mod.value);
+        benchmark::DoNotOptimize(d.out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kVecLen);
+}
+
+void
+BM_MulModBarrett(benchmark::State &state)
+{
+    Data &d = data(state.range(0));
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < kVecLen; ++i)
+            d.out[i] = mulModBarrett(d.a[i], d.b[i], d.mod);
+        benchmark::DoNotOptimize(d.out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kVecLen);
+}
+
+void
+BM_MulModMontgomery(benchmark::State &state)
+{
+    Data &d = data(state.range(0));
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < kVecLen; ++i)
+            d.out[i] = mulModMontgomery(d.aMont[i], d.bMont[i], d.mod);
+        benchmark::DoNotOptimize(d.out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kVecLen);
+}
+
+void
+BM_MulModShoup(benchmark::State &state)
+{
+    Data &d = data(state.range(0));
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < kVecLen; ++i) {
+            d.out[i] = mulModShoup(d.a[i], d.b[i], d.bShoup[i],
+                                   d.mod.value);
+        }
+        benchmark::DoNotOptimize(d.out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kVecLen);
+}
+
+void
+BM_BarrettReduce128(benchmark::State &state)
+{
+    Data &d = data(state.range(0));
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < kVecLen; ++i) {
+            u128 wide = static_cast<u128>(d.a[i]) * d.b[i];
+            d.out[i] = barrettReduce128(wide, d.mod);
+        }
+        benchmark::DoNotOptimize(d.out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kVecLen);
+}
+
+void
+BM_MontgomeryConversionOverhead(benchmark::State &state)
+{
+    // The paper notes Montgomery requires operand encoding; this
+    // measures that extra cost.
+    Data &d = data(state.range(0));
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < kVecLen; ++i)
+            d.out[i] = toMontgomery(d.a[i], d.mod);
+        benchmark::DoNotOptimize(d.out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * kVecLen);
+}
+
+BENCHMARK(BM_MulModNaive)->Arg(59)->Arg(49)->Arg(36);
+BENCHMARK(BM_MulModBarrett)->Arg(59)->Arg(49)->Arg(36);
+BENCHMARK(BM_MulModMontgomery)->Arg(59)->Arg(49)->Arg(36);
+BENCHMARK(BM_MulModShoup)->Arg(59)->Arg(49)->Arg(36);
+BENCHMARK(BM_BarrettReduce128)->Arg(59);
+BENCHMARK(BM_MontgomeryConversionOverhead)->Arg(59);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Figure 4 reproduction: (i)NTT time per limb as the limb working
+ * set grows (16..128 limbs), FIDESlib schedule (hierarchical 2D +
+ * limb batching) vs the Phantom-like schedule (flat radix-2, one
+ * kernel for the whole set). The paper's claim: the optimized
+ * schedule's per-limb time stays flat or improves as the working set
+ * grows, showing better memory-bandwidth efficiency.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/device.hpp"
+#include "core/ntt.hpp"
+#include "core/primes.hpp"
+#include "core/rng.hpp"
+
+namespace
+{
+
+using namespace fideslib;
+
+constexpr std::size_t kDegree = 1 << 14;
+
+struct LimbSet
+{
+    std::vector<std::unique_ptr<NttTables>> tables;
+    std::vector<std::vector<u64>> limbs;
+
+    explicit LimbSet(std::size_t count)
+    {
+        auto primes = generatePrimes(49, 2 * kDegree, count);
+        Prng prng(99);
+        for (u64 p : primes) {
+            Modulus m(p);
+            tables.push_back(std::make_unique<NttTables>(
+                kDegree, m, findPrimitiveRoot(2 * kDegree, m)));
+            std::vector<u64> limb(kDegree);
+            sampleUniform(prng, p, limb);
+            limbs.push_back(std::move(limb));
+        }
+    }
+};
+
+
+/**
+ * Per-platform roofline model for one batch of limb NTTs: the
+ * hierarchical schedule moves each element in two passes (four
+ * accesses per element, paper Figure 3); the flat schedule spills one
+ * pass per pair of stages.
+ */
+void
+reportModel(benchmark::State &state, std::size_t limbs, bool hier)
+{
+    const u64 logN = log2Floor(kDegree);
+    const u64 passes = hier ? 2 : std::max<u64>(2, logN / 2);
+    KernelCounters c;
+    // One grid launch per global pass: the hierarchical schedule
+    // needs two (column pass, row pass); a flat radix-2 schedule
+    // launches one kernel per pair of stages.
+    c.launches = passes;
+    c.bytesRead = passes * limbs * kDegree * 8;
+    c.bytesWritten = passes * limbs * kDegree * 8;
+    c.intOps = 5 * limbs * kDegree * logN;
+    for (const auto &prof : platformTable()) {
+        state.counters["model_us_per_limb_" + prof.name] =
+            prof.modeledTimeUs(c) / static_cast<double>(limbs);
+    }
+}
+
+LimbSet &
+limbSet(std::size_t count)
+{
+    static std::map<std::size_t, std::unique_ptr<LimbSet>> cache;
+    auto it = cache.find(count);
+    if (it == cache.end())
+        it = cache.emplace(count, std::make_unique<LimbSet>(count))
+                 .first;
+    return *it->second;
+}
+
+void
+BM_NttFideslib(benchmark::State &state)
+{
+    auto &set = limbSet(state.range(0));
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < set.limbs.size(); ++i)
+            nttForwardHierarchical(set.limbs[i].data(), *set.tables[i]);
+        benchmark::DoNotOptimize(set.limbs[0].data());
+    }
+    reportModel(state, set.limbs.size(), true);
+    state.SetItemsProcessed(state.iterations() * set.limbs.size());
+}
+
+void
+BM_NttPhantomSim(benchmark::State &state)
+{
+    auto &set = limbSet(state.range(0));
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < set.limbs.size(); ++i)
+            nttForward(set.limbs[i].data(), *set.tables[i]);
+        benchmark::DoNotOptimize(set.limbs[0].data());
+    }
+    reportModel(state, set.limbs.size(), false);
+    state.SetItemsProcessed(state.iterations() * set.limbs.size());
+}
+
+void
+BM_InttFideslib(benchmark::State &state)
+{
+    auto &set = limbSet(state.range(0));
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < set.limbs.size(); ++i)
+            nttInverseHierarchical(set.limbs[i].data(), *set.tables[i]);
+        benchmark::DoNotOptimize(set.limbs[0].data());
+    }
+    reportModel(state, set.limbs.size(), true);
+    state.SetItemsProcessed(state.iterations() * set.limbs.size());
+}
+
+void
+BM_InttPhantomSim(benchmark::State &state)
+{
+    auto &set = limbSet(state.range(0));
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < set.limbs.size(); ++i)
+            nttInverse(set.limbs[i].data(), *set.tables[i]);
+        benchmark::DoNotOptimize(set.limbs[0].data());
+    }
+    reportModel(state, set.limbs.size(), false);
+    state.SetItemsProcessed(state.iterations() * set.limbs.size());
+}
+
+#define NTT_ARGS ->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+
+BENCHMARK(BM_NttFideslib) NTT_ARGS->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NttPhantomSim) NTT_ARGS->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InttFideslib) NTT_ARGS->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InttPhantomSim) NTT_ARGS->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 5 reproduction: the common PtMult + Rescale sequence as a
+ * function of the number of processed limbs (ciphertext level). The
+ * paper shows near-linear time in the limb count, with an L2-capacity
+ * knee on small-cache parts; the per-platform roofline model (Table
+ * IV) reproduces the four GPU series alongside the measured host
+ * time.
+ */
+
+#include "bench_common.hpp"
+
+namespace
+{
+
+using namespace fideslib;
+using namespace fideslib::bench;
+
+void
+BM_PtMultRescale(benchmark::State &state)
+{
+    auto &b = cachedContext("fig5", benchParams(), {1});
+    const u32 level = static_cast<u32>(state.range(0));
+    auto ct = b.randomCiphertext(level);
+    auto pt = b.randomPlaintext(level);
+    Device::instance().resetCounters();
+    for (auto _ : state) {
+        auto r = ct.clone();
+        b.eval->multiplyPlainInPlace(r, pt);
+        b.eval->rescaleInPlace(r);
+        benchmark::DoNotOptimize(r.c0.limb(0).data());
+    }
+    reportPlatformModel(state, state.iterations());
+    state.counters["limbs"] = level + 1;
+}
+
+void
+registerSweep()
+{
+    Parameters p = benchParams();
+    for (u32 level = 4; level <= p.multDepth; level += 2) {
+        ::benchmark::RegisterBenchmark("BM_PtMultRescale",
+                                       BM_PtMultRescale)
+            ->Arg(level)
+            ->Unit(::benchmark::kMicrosecond);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerSweep();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

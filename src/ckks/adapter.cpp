@@ -1,0 +1,75 @@
+#include "ckks/adapter.hpp"
+
+#include <cstring>
+
+#include "core/logging.hpp"
+
+namespace fideslib::ckks::adapter
+{
+
+HostPoly
+toHost(const RNSPoly &p)
+{
+    HostPoly h;
+    h.level = p.level();
+    h.special = p.numSpecial();
+    h.eval = p.format() == Format::Eval;
+    h.limbs.resize(p.numLimbs());
+    const std::size_t n = p.context().degree();
+    for (std::size_t i = 0; i < p.numLimbs(); ++i) {
+        h.limbs[i].assign(p.limb(i).data(), p.limb(i).data() + n);
+    }
+    return h;
+}
+
+RNSPoly
+toDevice(const Context &ctx, const HostPoly &h)
+{
+    RNSPoly p(ctx, h.level, h.eval ? Format::Eval : Format::Coeff,
+              h.special);
+    FIDES_ASSERT(h.limbs.size() == p.numLimbs());
+    const std::size_t n = ctx.degree();
+    for (std::size_t i = 0; i < p.numLimbs(); ++i) {
+        FIDES_ASSERT(h.limbs[i].size() == n);
+        std::memcpy(p.limb(i).data(), h.limbs[i].data(),
+                    n * sizeof(u64));
+    }
+    return p;
+}
+
+HostCiphertext
+toHost(const Context &ctx, const Ciphertext &ct)
+{
+    return HostCiphertext{ctx.logDegree(), ct.slots, ct.scale,
+                          ct.noiseBits, toHost(ct.c0), toHost(ct.c1)};
+}
+
+Ciphertext
+toDevice(const Context &ctx, const HostCiphertext &h)
+{
+    if (h.logN != ctx.logDegree())
+        fatal("adapter: ciphertext ring degree 2^%u does not match "
+              "the context (2^%u)",
+              h.logN, ctx.logDegree());
+    return Ciphertext{toDevice(ctx, h.c0), toDevice(ctx, h.c1),
+                      h.scale, h.slots, h.noiseBits};
+}
+
+HostPlaintext
+toHost(const Context &ctx, const Plaintext &pt)
+{
+    return HostPlaintext{ctx.logDegree(), pt.slots, pt.scale,
+                         toHost(pt.poly)};
+}
+
+Plaintext
+toDevice(const Context &ctx, const HostPlaintext &h)
+{
+    if (h.logN != ctx.logDegree())
+        fatal("adapter: plaintext ring degree 2^%u does not match "
+              "the context (2^%u)",
+              h.logN, ctx.logDegree());
+    return Plaintext{toDevice(ctx, h.poly), h.scale, h.slots};
+}
+
+} // namespace fideslib::ckks::adapter

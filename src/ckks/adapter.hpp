@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The adapter layer of the paper's Figure 1: converts between
+ * client-side host objects (the OpenFHE role -- plain host memory,
+ * serializable) and the simplified device-resident structures the
+ * server kernels consume, carrying the essential data and metadata
+ * fields (level, scale, slot count, static noise estimate) in both
+ * directions.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "ckks/ciphertext.hpp"
+
+namespace fideslib::ckks
+{
+
+/** Client-side polynomial: one vector per RNS limb, host memory. */
+struct HostPoly
+{
+    u32 level = 0;
+    u32 special = 0;
+    bool eval = true;
+    std::vector<std::vector<u64>> limbs;
+};
+
+/** Client-side ciphertext (what Serialize/Deserialize operate on). */
+struct HostCiphertext
+{
+    u32 logN = 0;
+    u32 slots = 0;
+    long double scale = 0;
+    double noiseBits = 0;
+    HostPoly c0, c1;
+};
+
+/** Client-side plaintext. */
+struct HostPlaintext
+{
+    u32 logN = 0;
+    u32 slots = 0;
+    long double scale = 0;
+    HostPoly poly;
+};
+
+/** Host <-> device conversions. */
+namespace adapter
+{
+
+HostPoly toHost(const RNSPoly &p);
+RNSPoly toDevice(const Context &ctx, const HostPoly &p);
+
+HostCiphertext toHost(const Context &ctx, const Ciphertext &ct);
+Ciphertext toDevice(const Context &ctx, const HostCiphertext &h);
+
+HostPlaintext toHost(const Context &ctx, const Plaintext &pt);
+Plaintext toDevice(const Context &ctx, const HostPlaintext &h);
+
+} // namespace adapter
+
+} // namespace fideslib::ckks

@@ -1,0 +1,278 @@
+#include "ckks/basechange.hpp"
+
+#include <cstring>
+
+#include "ckks/kernels.hpp"
+#include "core/logging.hpp"
+
+namespace fideslib::ckks
+{
+
+namespace
+{
+
+constexpr std::size_t kConvBlock = 512; //!< coefficient tile size
+constexpr u64 kWord = sizeof(u64);
+
+} // namespace
+
+void
+convert(const Context &ctx, const std::vector<const u64 *> &src,
+        const ConvTables &tables, const std::vector<u64 *> &dst)
+{
+    const std::size_t n = ctx.degree();
+    const std::size_t ns = tables.sourceIdx.size();
+    const std::size_t nt = tables.targetIdx.size();
+    FIDES_ASSERT(src.size() == ns && dst.size() == nt);
+
+    // Tile over coefficients: the scaled source values for a tile are
+    // kept hot (the shared-memory caching of the paper's kernel) and
+    // reused by every target dot product.
+    std::vector<u64> scaled(ns * kConvBlock);
+    for (std::size_t base = 0; base < n; base += kConvBlock) {
+        const std::size_t cnt = std::min(kConvBlock, n - base);
+        for (std::size_t i = 0; i < ns; ++i) {
+            const u64 p = ctx.prime(tables.sourceIdx[i]).value();
+            const u64 w = tables.sHatInv[i];
+            const u64 ws = tables.sHatInvShoup[i];
+            const u64 *s = src[i] + base;
+            u64 *o = scaled.data() + i * kConvBlock;
+            for (std::size_t j = 0; j < cnt; ++j)
+                o[j] = mulModShoup(s[j], w, ws, p);
+        }
+        for (std::size_t t = 0; t < nt; ++t) {
+            const Modulus &m = ctx.prime(tables.targetIdx[t]).mod;
+            u64 *o = dst[t] + base;
+            for (std::size_t j = 0; j < cnt; ++j) {
+                // Accumulate the dot product in 128 bits and reduce
+                // once (sum of <=8 products of 61-bit values fits).
+                u128 acc = 0;
+                for (std::size_t i = 0; i < ns; ++i) {
+                    acc += static_cast<u128>(
+                               scaled[i * kConvBlock + j]) *
+                           tables.sHatModT[i * nt + t];
+                }
+                o[j] = barrettReduce128(acc, m);
+            }
+        }
+    }
+}
+
+RNSPoly
+modUpDigit(const RNSPoly &coeffPoly, u32 digit)
+{
+    const Context &ctx = coeffPoly.context();
+    FIDES_ASSERT(coeffPoly.format() == Format::Coeff);
+    const u32 level = coeffPoly.level();
+    const ConvTables &tables = ctx.modUpTables(level, digit);
+    const std::size_t n = ctx.degree();
+
+    RNSPoly out(ctx, level, Format::Coeff, ctx.numSpecial());
+
+    // Source limbs pass through unchanged (their residues are kept).
+    std::vector<const u64 *> src;
+    for (u32 gi : tables.sourceIdx) {
+        src.push_back(coeffPoly.limb(gi).data()); // q-limb position == gi
+        std::memcpy(out.limb(gi).data(), coeffPoly.limb(gi).data(),
+                    n * sizeof(u64));
+    }
+
+    // Target limbs: position of global prime gi in `out`.
+    std::vector<u64 *> dst;
+    for (u32 gi : tables.targetIdx) {
+        std::size_t pos = gi <= level
+                              ? gi
+                              : level + 1 + (gi - (ctx.maxLevel() + 1));
+        dst.push_back(out.limb(pos).data());
+    }
+
+    // One launch for the conversion matrix product (compute bound).
+    Device::instance().launch(
+        src.size() * n * kWord, dst.size() * n * kWord,
+        dst.size() * n * (2 * src.size() + 2));
+    convert(ctx, src, tables, dst);
+
+    kernels::toEval(out);
+    return out;
+}
+
+void
+modDown(RNSPoly &a)
+{
+    const Context &ctx = a.context();
+    FIDES_ASSERT(a.format() == Format::Eval);
+    FIDES_ASSERT(a.numSpecial() == ctx.numSpecial());
+    const u32 level = a.level();
+    const u32 K = ctx.numSpecial();
+    const std::size_t n = ctx.degree();
+    const ConvTables &tables = ctx.modDownTables(level);
+
+    // iNTT the special limbs to coefficient form.
+    kernels::forBatches(ctx, K, 2 * n * kWord, 2 * n * kWord,
+                        5 * n * ctx.logDegree(),
+                        [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+            kernels::inttLimb(ctx, a.limb(level + 1 + k).data(),
+                              ctx.specialIdx(k));
+        }
+    });
+
+    // Convert [x]_P into the Q_l basis (coeff form).
+    std::vector<const u64 *> src;
+    for (u32 k = 0; k < K; ++k)
+        src.push_back(a.limb(level + 1 + k).data());
+    std::vector<std::vector<u64>> tmp(level + 1,
+                                      std::vector<u64>(n));
+    std::vector<u64 *> dst;
+    for (u32 i = 0; i <= level; ++i)
+        dst.push_back(tmp[i].data());
+    Device::instance().launch(K * n * kWord, (level + 1) * n * kWord,
+                              (level + 1) * n * (2 * K + 2));
+    convert(ctx, src, tables, dst);
+
+    // Fused epilogue (paper III-F5, ModDown fusion): per q-limb,
+    // NTT(tmp) then x = P^{-1} (x - tmp) in the same kernel.
+    const bool fused = ctx.fusionEnabled();
+    auto epilogue = [&](std::size_t i) {
+        const u64 p = ctx.qMod(i).value;
+        const u64 w = ctx.pInvModQ(i);
+        const u64 ws = ctx.pInvModQShoup(i);
+        u64 *x = a.limb(i).data();
+        const u64 *t = tmp[i].data();
+        for (std::size_t j = 0; j < n; ++j)
+            x[j] = mulModShoup(subMod(x[j], t[j], p), w, ws, p);
+    };
+    if (fused) {
+        kernels::forBatches(ctx, level + 1, 3 * n * kWord, n * kWord,
+                            5 * n * ctx.logDegree() + 4 * n,
+                            [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                kernels::nttLimb(ctx, tmp[i].data(),
+                                 static_cast<u32>(i));
+                epilogue(i);
+            }
+        });
+    } else {
+        kernels::forBatches(ctx, level + 1, 2 * n * kWord,
+                            2 * n * kWord, 5 * n * ctx.logDegree(),
+                            [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                kernels::nttLimb(ctx, tmp[i].data(),
+                                 static_cast<u32>(i));
+        });
+        kernels::forBatches(ctx, level + 1, 2 * n * kWord, n * kWord,
+                            4 * n,
+                            [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                epilogue(i);
+        });
+    }
+
+    a.dropSpecialLimbs();
+}
+
+void
+rescale(RNSPoly &a)
+{
+    const Context &ctx = a.context();
+    FIDES_ASSERT(a.format() == Format::Eval);
+    FIDES_ASSERT(a.numSpecial() == 0);
+    FIDES_ASSERT(a.level() > 0);
+    const u32 l = a.level();
+    const std::size_t n = ctx.degree();
+    const u64 ql = ctx.qMod(l).value;
+
+    // iNTT the dropped limb.
+    std::vector<u64> last(n);
+    std::memcpy(last.data(), a.limb(l).data(), n * sizeof(u64));
+    Device::instance().launch(2 * n * kWord, 2 * n * kWord,
+                              5 * n * ctx.logDegree());
+    kernels::inttLimb(ctx, last.data(), l);
+
+    // Fused path (paper Rescale fusion): one kernel per limb batch
+    // performs SwitchModulus prologue + NTT + the combined
+    // q_l^{-1} (x - NTT(...)) epilogue, saving the intermediate
+    // global-memory round trips. Unfused path: three separate
+    // kernels (each spanning all limbs), the structure of a backend
+    // without fusion support.
+    const bool fused = ctx.fusionEnabled();
+    if (fused) {
+        std::vector<u64> tmp(n);
+        kernels::forBatches(ctx, l, 3 * n * kWord, n * kWord,
+                            5 * n * ctx.logDegree() + 6 * n,
+                            [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                kernels::switchModulusLimb(ctx, last.data(), ql,
+                                           tmp.data(),
+                                           static_cast<u32>(i));
+                kernels::nttLimb(ctx, tmp.data(),
+                                 static_cast<u32>(i));
+                const u64 p = ctx.qMod(i).value;
+                const u64 w = ctx.qlInvModQ(l, i);
+                const u64 ws = ctx.qlInvModQShoup(l, i);
+                u64 *x = a.limb(i).data();
+                for (std::size_t j = 0; j < n; ++j) {
+                    x[j] = mulModShoup(subMod(x[j], tmp[j], p), w, ws,
+                                       p);
+                }
+            }
+        });
+    } else {
+        std::vector<std::vector<u64>> tmp(l, std::vector<u64>(n));
+        kernels::forBatches(ctx, l, n * kWord, n * kWord, 2 * n,
+                            [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                kernels::switchModulusLimb(ctx, last.data(), ql,
+                                           tmp[i].data(),
+                                           static_cast<u32>(i));
+            }
+        });
+        kernels::forBatches(ctx, l, 2 * n * kWord, 2 * n * kWord,
+                            5 * n * ctx.logDegree(),
+                            [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                kernels::nttLimb(ctx, tmp[i].data(),
+                                 static_cast<u32>(i));
+        });
+        kernels::forBatches(ctx, l, 2 * n * kWord, n * kWord, 6 * n,
+                            [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                const u64 p = ctx.qMod(i).value;
+                const u64 w = ctx.qlInvModQ(l, i);
+                const u64 ws = ctx.qlInvModQShoup(l, i);
+                u64 *x = a.limb(i).data();
+                const u64 *t = tmp[i].data();
+                for (std::size_t j = 0; j < n; ++j) {
+                    x[j] = mulModShoup(subMod(x[j], t[j], p), w, ws,
+                                       p);
+                }
+            }
+        });
+    }
+
+    a.dropLimb();
+}
+
+RNSPoly
+modRaise(const RNSPoly &a, u32 newLevel)
+{
+    const Context &ctx = a.context();
+    FIDES_ASSERT(a.format() == Format::Coeff);
+    FIDES_ASSERT(a.level() == 0);
+    const std::size_t n = ctx.degree();
+    const u64 q0 = ctx.qMod(0).value;
+
+    RNSPoly out(ctx, newLevel, Format::Coeff);
+    std::memcpy(out.limb(0).data(), a.limb(0).data(), n * sizeof(u64));
+    kernels::forBatches(ctx, newLevel, n * kWord, n * kWord, 2 * n,
+                        [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            kernels::switchModulusLimb(ctx, a.limb(0).data(), q0,
+                                       out.limb(i + 1).data(),
+                                       static_cast<u32>(i + 1));
+        }
+    });
+    return out;
+}
+
+} // namespace fideslib::ckks

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * RNS basis-change operations (paper Section III-F3):
+ *
+ *  - convert(): the fast base conversion of Equation (1), a limb-wise
+ *    scaling by (S/s_i)^{-1} followed by a modular matrix-matrix
+ *    product accumulated in 128 bits and reduced once per output.
+ *  - modUpDigit(): digit decomposition + base extension to Q_l * P.
+ *  - modDown(): divide by P after the key-switch inner product, with
+ *    the paper's ModDown NTT fusion.
+ *  - rescale(): drop the top limb and scale by q_l^{-1}, with the
+ *    paper's Rescale fusion (SwitchModulus prologue + combined
+ *    subtract/scale epilogue around the NTT).
+ *  - modRaise(): bootstrap's Q_0 -> Q_L coefficient lift.
+ */
+
+#pragma once
+
+#include "ckks/rnspoly.hpp"
+
+namespace fideslib::ckks
+{
+
+/**
+ * Fast base conversion: reads the coefficient-format source limbs
+ * (src[i], modulo tables.sourceIdx[i]) and writes each target limb
+ * (dst[t], modulo tables.targetIdx[t]). Output is exact up to the
+ * standard small multiple of the source modulus.
+ */
+void convert(const Context &ctx, const std::vector<const u64 *> &src,
+             const ConvTables &tables, const std::vector<u64 *> &dst);
+
+/**
+ * ModUp of one key-switching digit: extracts the digit's limbs from
+ * the coefficient-format polynomial @p coeffPoly (level l), base-
+ * extends them to the full Q_l * P basis, and returns the result in
+ * evaluation form.
+ */
+RNSPoly modUpDigit(const RNSPoly &coeffPoly, u32 digit);
+
+/**
+ * ModDown in place: divides the raised polynomial (eval format with
+ * special limbs) by P and drops the special limbs.
+ */
+void modDown(RNSPoly &a);
+
+/**
+ * Rescale in place: drops the top limb l and scales the remaining
+ * limbs by q_l^{-1} (eval format).
+ */
+void rescale(RNSPoly &a);
+
+/**
+ * Bootstrap ModRaise: reinterprets the (coeff-format, level-0) input
+ * modulo every prime of the target level using the centered lift.
+ * Returns a coeff-format polynomial at @p newLevel.
+ */
+RNSPoly modRaise(const RNSPoly &a, u32 newLevel);
+
+} // namespace fideslib::ckks

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Chebyshev-series machinery for ApproxModEval (paper Section
+ * III-F7): numeric interpolation of the target function, plain
+ * Clenshaw evaluation (the test oracle), Chebyshev long division, and
+ * the homomorphic Paterson-Stockmeyer / BSGS evaluation over the
+ * canonical-scale discipline.
+ */
+
+#pragma once
+
+#include <functional>
+
+#include "ckks/evaluator.hpp"
+
+namespace fideslib::ckks
+{
+
+/**
+ * Chebyshev interpolation of f on [-1, 1]: returns c_0..c_degree with
+ * f(x) ~= sum_k c_k T_k(x) (c_0 absorbed, no halving convention).
+ */
+std::vector<double>
+chebyshevInterpolate(const std::function<double(double)> &f, u32 degree);
+
+/** Plain Clenshaw evaluation of a Chebyshev series (test oracle). */
+double clenshawEval(const std::vector<double> &c, double x);
+
+/** Max |f - series| sampled on a dense grid over [-1, 1]. */
+double chebyshevMaxError(const std::function<double(double)> &f,
+                         const std::vector<double> &c,
+                         u32 samples = 2048);
+
+/**
+ * Smallest degree whose interpolant meets @p targetError, doubling
+ * from @p start up to @p cap (used to auto-size ApproxModEval).
+ */
+u32 chebyshevDegreeFor(const std::function<double(double)> &f,
+                       double targetError, u32 start = 16,
+                       u32 cap = 4096);
+
+/**
+ * Chebyshev long division by T_t: c = q * T_t + r with deg r < t.
+ * Returns {q, r}.
+ */
+std::pair<std::vector<double>, std::vector<double>>
+chebyshevDivide(const std::vector<double> &c, u32 t);
+
+/**
+ * Homomorphic evaluation of sum_k c_k T_k(y) for a canonical
+ * ciphertext y with slot values in [-1, 1]. Paterson-Stockmeyer over
+ * the Chebyshev basis: ~2 sqrt(deg) ciphertext multiplications,
+ * ceil(log2 deg) + 1 levels.
+ */
+Ciphertext evalChebyshevSeries(const Evaluator &eval,
+                               const Ciphertext &y,
+                               const std::vector<double> &coeffs);
+
+/** Multiplicative depth evalChebyshevSeries will consume. */
+u32 chebyshevDepth(u32 degree);
+
+} // namespace fideslib::ckks

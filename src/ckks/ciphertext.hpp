@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plaintext and Ciphertext value types.
+ *
+ * Both carry the CKKS scaling factor (tracked exactly as a long
+ * double so that rescaling by the actual primes, which are only
+ * approximately Delta, keeps decode exact) and the slot count. The
+ * Ciphertext additionally carries a running noise-budget estimate in
+ * bits, the "static noise estimation data" the paper's adapter layer
+ * ships back to the client for decryption.
+ */
+
+#pragma once
+
+#include "ckks/rnspoly.hpp"
+
+namespace fideslib::ckks
+{
+
+/** An encoded (unencrypted) message. */
+struct Plaintext
+{
+    RNSPoly poly;
+    long double scale;
+    u32 slots;
+
+    u32 level() const { return poly.level(); }
+};
+
+/** An RLWE ciphertext (c0, c1) under the canonical secret key. */
+struct Ciphertext
+{
+    RNSPoly c0;
+    RNSPoly c1;
+    long double scale;
+    u32 slots;
+    double noiseBits = 0.0; //!< log2 of the estimated noise magnitude
+
+    u32 level() const { return c0.level(); }
+
+    Ciphertext
+    clone() const
+    {
+        return Ciphertext{c0.clone(), c1.clone(), scale, slots,
+                          noiseBits};
+    }
+};
+
+} // namespace fideslib::ckks

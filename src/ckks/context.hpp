@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The CKKS crypto-context: prime chain generation, per-prime NTT
+ * tables, and every precomputed constant the server-side kernels
+ * consume (paper Section III-E).
+ *
+ * Following the paper, contexts use a registry/singleton pattern: a
+ * single "current" context mirrors the GPU constant-memory model, but
+ * explicit Context references are passed through the API so that the
+ * design stays testable.
+ */
+
+#pragma once
+
+#include <complex>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ckks/parameters.hpp"
+#include "core/bigint.hpp"
+#include "core/modarith.hpp"
+#include "core/ntt.hpp"
+#include "core/rng.hpp"
+
+namespace fideslib::ckks
+{
+
+/** One RNS prime with its NTT machinery. */
+struct PrimeRecord
+{
+    Modulus mod;
+    std::unique_ptr<NttTables> ntt;
+    bool special = false;
+
+    u64 value() const { return mod.value; }
+};
+
+/**
+ * Base-conversion tables for one (level, digit) pair of the ModUp
+ * operation, or for the fixed P -> Q ModDown direction.
+ *
+ * Conv implements Equation (1) of the paper: a limb-wise scaling by
+ * sHatInv (the Qhat^-1 factors) followed by a modular matrix product
+ * with sHatModT (the Qhat factors reduced modulo each target prime).
+ */
+struct ConvTables
+{
+    std::vector<u32> sourceIdx; //!< global prime indices of the source
+    std::vector<u32> targetIdx; //!< global prime indices of the target
+    std::vector<u64> sHatInv;   //!< [i]: (S/s_i)^{-1} mod s_i
+    std::vector<u64> sHatInvShoup;
+    //! sHatModT[i * targetCount + t]: (S/s_i) mod t_t
+    std::vector<u64> sHatModT;
+};
+
+/** CKKS crypto-context: owns primes, tables and configuration. */
+class Context
+{
+  public:
+    explicit Context(const Parameters &params);
+    ~Context();
+
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+
+    const Parameters &params() const { return params_; }
+    std::size_t degree() const { return n_; }
+    u32 logDegree() const { return params_.logN; }
+    u32 maxLevel() const { return params_.multDepth; }
+    u32 numSpecial() const { return numSpecial_; }
+    u32 dnum() const { return params_.dnum; }
+    u32 digitSize() const { return alpha_; }
+    long double defaultScale() const { return defaultScale_; }
+
+    /**
+     * Canonical scaling factor at each level (FLEXIBLEAUTO-style):
+     * Delta_L = Delta and Delta_{l-1} = Delta_l^2 / q_l, the scale a
+     * multiply-then-rescale chain lands on. The bootstrap and
+     * polynomial-evaluation machinery keep every ciphertext on this
+     * chain so branches of different depths can be added exactly.
+     */
+    long double levelScale(u32 l) const { return levelScales_[l]; }
+
+    /** Global prime index: 0..L are q-limbs, L+1..L+K special. */
+    const PrimeRecord &prime(u32 globalIdx) const
+    {
+        return primes_[globalIdx];
+    }
+    u32 specialIdx(u32 k) const { return params_.multDepth + 1 + k; }
+    u32 numPrimes() const { return primes_.size(); }
+
+    const Modulus &qMod(u32 i) const { return primes_[i].mod; }
+    const Modulus &pMod(u32 k) const
+    {
+        return primes_[specialIdx(k)].mod;
+    }
+
+    /** Active key-switching digits at level l. */
+    u32 numDigits(u32 level) const { return (level + alpha_) / alpha_; }
+
+    /** ModUp conversion tables for (level, digit). */
+    const ConvTables &modUpTables(u32 level, u32 digit) const
+    {
+        return modUp_[level][digit];
+    }
+    /** ModDown (P -> {q_0..q_level}) conversion tables. */
+    const ConvTables &modDownTables(u32 level) const
+    {
+        return modDown_[level];
+    }
+    /** P^{-1} mod q_i. */
+    u64 pInvModQ(u32 i) const { return pInvModQ_[i]; }
+    u64 pInvModQShoup(u32 i) const { return pInvModQShoup_[i]; }
+    /** P mod q_i (key generation). */
+    u64 pModQ(u32 i) const { return pModQ_[i]; }
+
+    /** q_l^{-1} mod q_i, used by Rescale when dropping limb l. */
+    u64 qlInvModQ(u32 l, u32 i) const
+    {
+        return qlInvModQ_[l * (params_.multDepth + 1) + i];
+    }
+    u64 qlInvModQShoup(u32 l, u32 i) const
+    {
+        return qlInvModQShoup_[l * (params_.multDepth + 1) + i];
+    }
+
+    /** Per-coefficient CRT reconstructor over q_0..q_level. */
+    const CrtReconstructor &reconstructor(u32 level) const;
+
+    /**
+     * Evaluation-domain permutation for the Galois automorphism
+     * X -> X^g: out[j] = in[perm[j]]. Built lazily and cached.
+     */
+    const std::vector<u32> &automorphPerm(u64 galoisElt) const;
+
+    /** Galois element for a left rotation by @p k slots. */
+    u64 rotationGaloisElt(i64 k) const;
+    /** Galois element of complex conjugation (X -> X^{2N-1}). */
+    u64 conjugateGaloisElt() const { return 2 * n_ - 1; }
+
+    /** Deterministic context-wide randomness source. */
+    Prng &prng() const { return prng_; }
+
+    // Backend execution configuration (mutable for the benches). ------
+    u32 limbBatch() const { return limbBatch_; }
+    void setLimbBatch(u32 b) { limbBatch_ = b; }
+    bool fusionEnabled() const { return fusion_; }
+    void setFusion(bool f) { fusion_ = f; }
+    NttSchedule nttSchedule() const { return nttSchedule_; }
+    void setNttSchedule(NttSchedule s) { nttSchedule_ = s; }
+    ModMulKind modMulKind() const { return modMul_; }
+    void setModMulKind(ModMulKind k) { modMul_ = k; }
+
+    // Registry (paper Section III-E singleton pattern). ----------------
+    static void setCurrent(Context *ctx);
+    static Context &current();
+
+  private:
+    void generatePrimeChain();
+    void buildConvTables();
+
+    Parameters params_;
+    std::size_t n_;
+    u32 alpha_;
+    u32 numSpecial_;
+    long double defaultScale_;
+
+    std::vector<PrimeRecord> primes_;
+    //! modUp_[level][digit]
+    std::vector<std::vector<ConvTables>> modUp_;
+    //! modDown_[level]
+    std::vector<ConvTables> modDown_;
+    std::vector<u64> pInvModQ_, pInvModQShoup_, pModQ_;
+    std::vector<u64> qlInvModQ_, qlInvModQShoup_;
+    std::vector<long double> levelScales_;
+
+    mutable std::vector<std::unique_ptr<CrtReconstructor>> crt_;
+    mutable std::map<u64, std::vector<u32>> automorphCache_;
+    mutable Prng prng_;
+
+    u32 limbBatch_;
+    bool fusion_;
+    NttSchedule nttSchedule_;
+    ModMulKind modMul_;
+};
+
+} // namespace fideslib::ckks

@@ -1,0 +1,71 @@
+#include "ckks/encryptor.hpp"
+
+#include <cmath>
+
+#include "ckks/kernels.hpp"
+#include "ckks/keygen.hpp"
+#include "core/logging.hpp"
+
+namespace fideslib::ckks
+{
+
+double
+freshNoiseBits(const Context &ctx)
+{
+    // |v*e + e0 + e1*s| <= sigma * (2 sqrt(N) + 1) with high
+    // probability for ternary v, s; report log2.
+    double n = static_cast<double>(ctx.degree());
+    return std::log2(ctx.params().sigma * (2.0 * std::sqrt(n) + 1.0));
+}
+
+Ciphertext
+Encryptor::encrypt(const Plaintext &pt) const
+{
+    const Context &ctx = *ctx_;
+    const u32 level = pt.level();
+    FIDES_ASSERT(pt.poly.format() == Format::Eval);
+
+    // Ephemeral ternary v and Gaussian e0, e1, all in eval form.
+    std::vector<i64> tmp;
+    sampleTernary(ctx.prng(), ctx.degree(), 0, tmp);
+    RNSPoly v(ctx, level, Format::Coeff);
+    embedSigned(ctx, tmp, v);
+    kernels::toEval(v);
+
+    sampleGaussian(ctx.prng(), ctx.degree(), ctx.params().sigma, tmp);
+    RNSPoly e0(ctx, level, Format::Coeff);
+    embedSigned(ctx, tmp, e0);
+    kernels::toEval(e0);
+
+    sampleGaussian(ctx.prng(), ctx.degree(), ctx.params().sigma, tmp);
+    RNSPoly e1(ctx, level, Format::Coeff);
+    embedSigned(ctx, tmp, e1);
+    kernels::toEval(e1);
+
+    // c0 = v*pk.b + e0 + m ; c1 = v*pk.a + e1.
+    RNSPoly c0(ctx, level, Format::Eval);
+    kernels::mul(c0, v, pk_->b);
+    kernels::addInto(c0, e0);
+    kernels::addInto(c0, pt.poly);
+
+    RNSPoly c1(ctx, level, Format::Eval);
+    kernels::mul(c1, v, pk_->a);
+    kernels::addInto(c1, e1);
+
+    return Ciphertext{std::move(c0), std::move(c1), pt.scale, pt.slots,
+                      freshNoiseBits(ctx)};
+}
+
+Plaintext
+Encryptor::decrypt(const Ciphertext &ct, const SecretKey &sk) const
+{
+    const Context &ctx = *ctx_;
+    FIDES_ASSERT(ct.c0.format() == Format::Eval);
+
+    RNSPoly m = ct.c1.clone();
+    kernels::mulInto(m, sk.s); // q-limbs align positionally
+    kernels::addInto(m, ct.c0);
+    return Plaintext{std::move(m), ct.scale, ct.slots};
+}
+
+} // namespace fideslib::ckks

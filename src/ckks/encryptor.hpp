@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Client-side encryption and decryption (the OpenFHE role in the
+ * paper's Figure 1). Public-key RLWE encryption with ternary
+ * ephemeral randomness and Gaussian noise; decryption reconstructs
+ * the plaintext polynomial via c0 + c1 * s.
+ */
+
+#pragma once
+
+#include "ckks/ciphertext.hpp"
+#include "ckks/encoder.hpp"
+#include "ckks/keys.hpp"
+
+namespace fideslib::ckks
+{
+
+class Encryptor
+{
+  public:
+    Encryptor(const Context &ctx, const PublicKey &pk)
+        : ctx_(&ctx), pk_(&pk)
+    {}
+
+    /** Encrypts an encoded plaintext at the plaintext's level. */
+    Ciphertext encrypt(const Plaintext &pt) const;
+
+    /** Decrypts to a plaintext polynomial (requires the secret key). */
+    Plaintext decrypt(const Ciphertext &ct, const SecretKey &sk) const;
+
+  private:
+    const Context *ctx_;
+    const PublicKey *pk_;
+};
+
+/** Estimated fresh-encryption noise magnitude in bits. */
+double freshNoiseBits(const Context &ctx);
+
+} // namespace fideslib::ckks

@@ -1,0 +1,375 @@
+#include "ckks/kernels.hpp"
+
+#include "core/logging.hpp"
+
+namespace fideslib::ckks::kernels
+{
+
+namespace
+{
+
+constexpr u64 kWord = sizeof(u64);
+
+/** Pointwise modular multiply with the configured reduction. */
+inline void
+mulSpan(const Context &ctx, u64 *dst, const u64 *a, const u64 *b,
+        std::size_t n, const Modulus &m)
+{
+    if (ctx.modMulKind() == ModMulKind::Barrett) {
+        for (std::size_t j = 0; j < n; ++j)
+            dst[j] = mulModBarrett(a[j], b[j], m);
+    } else {
+        for (std::size_t j = 0; j < n; ++j)
+            dst[j] = mulModNaive(a[j], b[j], m.value);
+    }
+}
+
+inline void
+mulAddSpan(const Context &ctx, u64 *acc, const u64 *a, const u64 *b,
+           std::size_t n, const Modulus &m)
+{
+    if (ctx.modMulKind() == ModMulKind::Barrett) {
+        for (std::size_t j = 0; j < n; ++j)
+            acc[j] = addMod(acc[j], mulModBarrett(a[j], b[j], m),
+                            m.value);
+    } else {
+        for (std::size_t j = 0; j < n; ++j)
+            acc[j] = addMod(acc[j], mulModNaive(a[j], b[j], m.value),
+                            m.value);
+    }
+}
+
+} // namespace
+
+void
+forBatches(const Context &ctx, std::size_t numLimbs,
+           u64 bytesReadPerLimb, u64 bytesWrittenPerLimb,
+           u64 intOpsPerLimb,
+           const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    std::size_t batch = ctx.limbBatch() == 0 ? numLimbs : ctx.limbBatch();
+    if (batch == 0)
+        batch = 1;
+    auto &dev = Device::instance();
+    for (std::size_t lo = 0; lo < numLimbs; lo += batch) {
+        std::size_t hi = std::min(numLimbs, lo + batch);
+        dev.launch((hi - lo) * bytesReadPerLimb,
+                   (hi - lo) * bytesWrittenPerLimb,
+                   (hi - lo) * intOpsPerLimb);
+        fn(lo, hi);
+    }
+}
+
+void
+addInto(RNSPoly &a, const RNSPoly &b)
+{
+    FIDES_ASSERT(a.numLimbs() <= b.numLimbs());
+    const auto &ctx = a.context();
+    const std::size_t n = ctx.degree();
+    forBatches(ctx, a.numLimbs(), 2 * n * kWord, n * kWord, n,
+               [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            FIDES_ASSERT(a.primeIdxAt(i) == b.primeIdxAt(i));
+            u64 p = ctx.prime(a.primeIdxAt(i)).value();
+            u64 *x = a.limb(i).data();
+            const u64 *y = b.limb(i).data();
+            for (std::size_t j = 0; j < n; ++j)
+                x[j] = addMod(x[j], y[j], p);
+        }
+    });
+}
+
+void
+subInto(RNSPoly &a, const RNSPoly &b)
+{
+    FIDES_ASSERT(a.numLimbs() <= b.numLimbs());
+    const auto &ctx = a.context();
+    const std::size_t n = ctx.degree();
+    forBatches(ctx, a.numLimbs(), 2 * n * kWord, n * kWord, n,
+               [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            FIDES_ASSERT(a.primeIdxAt(i) == b.primeIdxAt(i));
+            u64 p = ctx.prime(a.primeIdxAt(i)).value();
+            u64 *x = a.limb(i).data();
+            const u64 *y = b.limb(i).data();
+            for (std::size_t j = 0; j < n; ++j)
+                x[j] = subMod(x[j], y[j], p);
+        }
+    });
+}
+
+void
+negate(RNSPoly &a)
+{
+    const auto &ctx = a.context();
+    const std::size_t n = ctx.degree();
+    forBatches(ctx, a.numLimbs(), n * kWord, n * kWord, n,
+               [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            u64 p = ctx.prime(a.primeIdxAt(i)).value();
+            u64 *x = a.limb(i).data();
+            for (std::size_t j = 0; j < n; ++j)
+                x[j] = negMod(x[j], p);
+        }
+    });
+}
+
+void
+mulInto(RNSPoly &a, const RNSPoly &b)
+{
+    FIDES_ASSERT(a.format() == Format::Eval &&
+                 b.format() == Format::Eval);
+    FIDES_ASSERT(a.numLimbs() <= b.numLimbs());
+    const auto &ctx = a.context();
+    const std::size_t n = ctx.degree();
+    forBatches(ctx, a.numLimbs(), 2 * n * kWord, n * kWord, 5 * n,
+               [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            FIDES_ASSERT(a.primeIdxAt(i) == b.primeIdxAt(i));
+            const Modulus &m = ctx.prime(a.primeIdxAt(i)).mod;
+            mulSpan(ctx, a.limb(i).data(), a.limb(i).data(),
+                    b.limb(i).data(), n, m);
+        }
+    });
+}
+
+void
+mul(RNSPoly &out, const RNSPoly &a, const RNSPoly &b)
+{
+    FIDES_ASSERT(a.format() == Format::Eval &&
+                 b.format() == Format::Eval);
+    FIDES_ASSERT(out.numLimbs() <= a.numLimbs() &&
+                 out.numLimbs() <= b.numLimbs());
+    out.setFormat(Format::Eval);
+    const auto &ctx = a.context();
+    const std::size_t n = ctx.degree();
+    forBatches(ctx, out.numLimbs(), 2 * n * kWord, n * kWord, 5 * n,
+               [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const Modulus &m = ctx.prime(out.primeIdxAt(i)).mod;
+            mulSpan(ctx, out.limb(i).data(), a.limb(i).data(),
+                    b.limb(i).data(), n, m);
+        }
+    });
+}
+
+void
+mulAddInto(RNSPoly &acc, const RNSPoly &a, const RNSPoly &b)
+{
+    FIDES_ASSERT(a.format() == Format::Eval &&
+                 b.format() == Format::Eval);
+    FIDES_ASSERT(acc.numLimbs() <= a.numLimbs() &&
+                 acc.numLimbs() <= b.numLimbs());
+    const auto &ctx = acc.context();
+    const std::size_t n = ctx.degree();
+    forBatches(ctx, acc.numLimbs(), 3 * n * kWord, n * kWord, 6 * n,
+               [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const Modulus &m = ctx.prime(acc.primeIdxAt(i)).mod;
+            mulAddSpan(ctx, acc.limb(i).data(), a.limb(i).data(),
+                       b.limb(i).data(), n, m);
+        }
+    });
+}
+
+void
+scalarMulInto(RNSPoly &a, const std::vector<u64> &scalar)
+{
+    FIDES_ASSERT(scalar.size() >= a.numLimbs());
+    const auto &ctx = a.context();
+    const std::size_t n = ctx.degree();
+    forBatches(ctx, a.numLimbs(), n * kWord, n * kWord, 3 * n,
+               [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            u64 p = ctx.prime(a.primeIdxAt(i)).value();
+            u64 w = scalar[i];
+            u64 ws = shoupPrecompute(w, p);
+            u64 *x = a.limb(i).data();
+            for (std::size_t j = 0; j < n; ++j)
+                x[j] = mulModShoup(x[j], w, ws, p);
+        }
+    });
+}
+
+void
+scalarAddInto(RNSPoly &a, const std::vector<u64> &scalar)
+{
+    FIDES_ASSERT(scalar.size() >= a.numLimbs());
+    const auto &ctx = a.context();
+    const std::size_t n = ctx.degree();
+    forBatches(ctx, a.numLimbs(), n * kWord, n * kWord, n,
+               [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            u64 p = ctx.prime(a.primeIdxAt(i)).value();
+            u64 c = scalar[i];
+            u64 *x = a.limb(i).data();
+            for (std::size_t j = 0; j < n; ++j)
+                x[j] = addMod(x[j], c, p);
+        }
+    });
+}
+
+void
+scalarSubFrom(RNSPoly &a, const std::vector<u64> &scalar)
+{
+    FIDES_ASSERT(scalar.size() >= a.numLimbs());
+    const auto &ctx = a.context();
+    const std::size_t n = ctx.degree();
+    forBatches(ctx, a.numLimbs(), n * kWord, n * kWord, n,
+               [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            u64 p = ctx.prime(a.primeIdxAt(i)).value();
+            u64 c = scalar[i];
+            u64 *x = a.limb(i).data();
+            for (std::size_t j = 0; j < n; ++j)
+                x[j] = subMod(c, x[j], p);
+        }
+    });
+}
+
+void
+nttLimb(const Context &ctx, u64 *data, u32 primeIdx)
+{
+    const NttTables &t = *ctx.prime(primeIdx).ntt;
+    if (ctx.nttSchedule() == NttSchedule::Hierarchical)
+        nttForwardHierarchical(data, t);
+    else
+        nttForward(data, t);
+}
+
+void
+inttLimb(const Context &ctx, u64 *data, u32 primeIdx)
+{
+    const NttTables &t = *ctx.prime(primeIdx).ntt;
+    if (ctx.nttSchedule() == NttSchedule::Hierarchical)
+        nttInverseHierarchical(data, t);
+    else
+        nttInverse(data, t);
+}
+
+/**
+ * Modelled off-chip traffic of one NTT limb: the hierarchical 2D
+ * schedule touches every element in exactly two passes (four memory
+ * accesses per element, paper Figure 3); a flat radix-2 schedule
+ * spills one pass per pair of stages once the limb exceeds on-chip
+ * memory.
+ */
+static u64
+nttPassesPerLimb(const Context &ctx)
+{
+    if (ctx.nttSchedule() == NttSchedule::Hierarchical)
+        return 2;
+    return std::max<u64>(2, ctx.logDegree() / 2);
+}
+
+void
+toEval(RNSPoly &a)
+{
+    FIDES_ASSERT(a.format() == Format::Coeff);
+    const auto &ctx = a.context();
+    const std::size_t n = ctx.degree();
+    const u64 logN = ctx.logDegree();
+    const u64 passes = nttPassesPerLimb(ctx);
+    forBatches(ctx, a.numLimbs(), passes * n * kWord,
+               passes * n * kWord, 5 * n * logN,
+               [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            nttLimb(ctx, a.limb(i).data(), a.primeIdxAt(i));
+    });
+    a.setFormat(Format::Eval);
+}
+
+void
+toCoeff(RNSPoly &a)
+{
+    FIDES_ASSERT(a.format() == Format::Eval);
+    const auto &ctx = a.context();
+    const std::size_t n = ctx.degree();
+    const u64 logN = ctx.logDegree();
+    const u64 passes = nttPassesPerLimb(ctx);
+    forBatches(ctx, a.numLimbs(), passes * n * kWord,
+               passes * n * kWord, 5 * n * logN,
+               [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            inttLimb(ctx, a.limb(i).data(), a.primeIdxAt(i));
+    });
+    a.setFormat(Format::Coeff);
+}
+
+void
+automorph(RNSPoly &out, const RNSPoly &in, const std::vector<u32> &perm)
+{
+    FIDES_ASSERT(in.format() == Format::Eval);
+    FIDES_ASSERT(out.numLimbs() == in.numLimbs());
+    const auto &ctx = in.context();
+    const std::size_t n = ctx.degree();
+    out.setFormat(Format::Eval);
+    forBatches(ctx, in.numLimbs(), n * kWord, n * kWord, 0,
+               [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const u64 *src = in.limb(i).data();
+            u64 *dst = out.limb(i).data();
+            for (std::size_t j = 0; j < n; ++j)
+                dst[j] = src[perm[j]];
+        }
+    });
+}
+
+void
+mulByMonomial(RNSPoly &a, u64 k)
+{
+    FIDES_ASSERT(a.format() == Format::Coeff);
+    const auto &ctx = a.context();
+    const std::size_t n = ctx.degree();
+    k %= 2 * n;
+    if (k == 0)
+        return;
+    forBatches(ctx, a.numLimbs(), n * kWord, n * kWord, n,
+               [&](std::size_t lo, std::size_t hi) {
+        std::vector<u64> tmp(n);
+        for (std::size_t i = lo; i < hi; ++i) {
+            u64 p = ctx.prime(a.primeIdxAt(i)).value();
+            u64 *x = a.limb(i).data();
+            // X^j * X^k = sign * X^((j+k) mod n), negacyclic wrap.
+            for (std::size_t j = 0; j < n; ++j) {
+                std::size_t jj = j + static_cast<std::size_t>(k);
+                bool flip = (jj / n) & 1;
+                jj %= n;
+                tmp[jj] = flip ? negMod(x[j], p) : x[j];
+            }
+            std::copy(tmp.begin(), tmp.end(), x);
+        }
+    });
+}
+
+void
+switchModulusLimb(const Context &ctx, const u64 *src, u64 srcPrime,
+                  u64 *dst, u32 dstPrimeIdx)
+{
+    const Modulus &dm = ctx.prime(dstPrimeIdx).mod;
+    const std::size_t n = ctx.degree();
+    const u64 half = srcPrime >> 1;
+    if (dm.value >= srcPrime) {
+        const u64 diff = (dm.value - srcPrime) % dm.value;
+        for (std::size_t j = 0; j < n; ++j) {
+            // Recentre: values above q/2 represent negatives.
+            u64 v = src[j];
+            dst[j] = v > half ? addMod(v, diff, dm.value)
+                              : barrettReduce64(v, dm);
+        }
+    } else {
+        for (std::size_t j = 0; j < n; ++j) {
+            u64 v = src[j];
+            if (v > half) {
+                // v - q mod p = v mod p - q mod p
+                u64 r = barrettReduce64(v, dm);
+                u64 qr = barrettReduce64(srcPrime, dm);
+                dst[j] = subMod(r, qr, dm.value);
+            } else {
+                dst[j] = barrettReduce64(v, dm);
+            }
+        }
+    }
+}
+
+} // namespace fideslib::ckks::kernels

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Element-wise and transform kernels over RNS polynomials.
+ *
+ * Every function here is a "kernel" in the paper's sense: it is
+ * submitted to the simulated device in limb batches (one launch per
+ * batch, Section III-F1), reports its memory traffic and integer-op
+ * counts for the platform roofline model, and uses the configured
+ * modular-reduction strategy (Section III-F2).
+ */
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ckks/rnspoly.hpp"
+
+namespace fideslib::ckks::kernels
+{
+
+/**
+ * Runs @p fn(limbLo, limbHi) over [0, numLimbs) in batches of the
+ * context's limb-batch size, accounting one kernel launch per batch
+ * with the given per-limb traffic estimates.
+ */
+void forBatches(const Context &ctx, std::size_t numLimbs,
+                u64 bytesReadPerLimb, u64 bytesWrittenPerLimb,
+                u64 intOpsPerLimb,
+                const std::function<void(std::size_t, std::size_t)> &fn);
+
+// --- element-wise ring operations (any format, matching limbs) -------
+
+/** a += b (limb-wise). */
+void addInto(RNSPoly &a, const RNSPoly &b);
+/** a -= b. */
+void subInto(RNSPoly &a, const RNSPoly &b);
+/** a = -a. */
+void negate(RNSPoly &a);
+/** a *= b (pointwise; both must be Eval format). */
+void mulInto(RNSPoly &a, const RNSPoly &b);
+/** out = a * b. */
+void mul(RNSPoly &out, const RNSPoly &a, const RNSPoly &b);
+/** acc += a * b (the fused multiply-accumulate of the dot-product
+ *  fusion, Section III-F5). */
+void mulAddInto(RNSPoly &acc, const RNSPoly &a, const RNSPoly &b);
+
+/** a[limb i] *= scalar[i] (Shoup-precomputed per-limb constants). */
+void scalarMulInto(RNSPoly &a, const std::vector<u64> &scalar);
+/** a[limb i] += scalar[i] broadcast to every coefficient. */
+void scalarAddInto(RNSPoly &a, const std::vector<u64> &scalar);
+/** a[limb i] = scalar[i] - a[limb i] (negate then add). */
+void scalarSubFrom(RNSPoly &a, const std::vector<u64> &scalar);
+
+// --- transforms -------------------------------------------------------
+
+/** Coeff -> Eval: forward NTT on every limb. */
+void toEval(RNSPoly &a);
+/** Eval -> Coeff: inverse NTT on every limb. */
+void toCoeff(RNSPoly &a);
+/** Forward NTT on a single raw limb buffer. */
+void nttLimb(const Context &ctx, u64 *data, u32 primeIdx);
+/** Inverse NTT on a single raw limb buffer. */
+void inttLimb(const Context &ctx, u64 *data, u32 primeIdx);
+
+/**
+ * Galois automorphism in the evaluation domain: out[j] = in[perm[j]]
+ * per limb. @p out must have the same shape as @p in.
+ */
+void automorph(RNSPoly &out, const RNSPoly &in,
+               const std::vector<u32> &perm);
+
+/**
+ * Coefficient-domain multiplication by the monomial X^k (negacyclic
+ * shift with sign wrap). Works on Eval format via transform-free
+ * permutation only when k relates to an automorphism, so this kernel
+ * requires Coeff format.
+ */
+void mulByMonomial(RNSPoly &a, u64 k);
+
+// --- helpers ----------------------------------------------------------
+
+/** Reduces each coefficient of limb data (mod target) in place given
+ *  values currently reduced modulo a (possibly larger) source prime,
+ *  recentring around the source modulus (SwitchModulus). */
+void switchModulusLimb(const Context &ctx, const u64 *src, u64 srcPrime,
+                       u64 *dst, u32 dstPrimeIdx);
+
+} // namespace fideslib::ckks::kernels

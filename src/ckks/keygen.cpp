@@ -1,0 +1,162 @@
+#include "ckks/keygen.hpp"
+
+#include "ckks/kernels.hpp"
+#include "core/logging.hpp"
+
+namespace fideslib::ckks
+{
+
+void
+embedSigned(const Context &ctx, const std::vector<i64> &coeffs,
+            RNSPoly &out)
+{
+    const std::size_t n = ctx.degree();
+    FIDES_ASSERT(coeffs.size() == n);
+    out.setFormat(Format::Coeff);
+    for (std::size_t i = 0; i < out.numLimbs(); ++i) {
+        const u64 p = ctx.prime(out.primeIdxAt(i)).value();
+        u64 *x = out.limb(i).data();
+        for (std::size_t j = 0; j < n; ++j) {
+            i64 v = coeffs[j];
+            x[j] = v >= 0 ? static_cast<u64>(v) % p
+                          : p - (static_cast<u64>(-v) % p);
+        }
+    }
+}
+
+KeyGen::KeyGen(const Context &ctx)
+    : ctx_(ctx),
+      sk_{RNSPoly(ctx, ctx.maxLevel(), Format::Coeff, ctx.numSpecial()),
+          {}}
+{
+    sampleTernary(ctx.prng(), ctx.degree(),
+                  ctx.params().secretHammingWeight, sk_.coeffs);
+    embedSigned(ctx, sk_.coeffs, sk_.s);
+    kernels::toEval(sk_.s);
+}
+
+RNSPoly
+KeyGen::sampleUniformPoly(u32 level, u32 special)
+{
+    RNSPoly a(ctx_, level, Format::Eval, special);
+    for (std::size_t i = 0; i < a.numLimbs(); ++i) {
+        const u64 p = ctx_.prime(a.primeIdxAt(i)).value();
+        u64 *x = a.limb(i).data();
+        for (std::size_t j = 0; j < ctx_.degree(); ++j)
+            x[j] = ctx_.prng().uniform(p);
+    }
+    return a;
+}
+
+RNSPoly
+KeyGen::sampleErrorPoly(u32 level, u32 special)
+{
+    std::vector<i64> e;
+    sampleGaussian(ctx_.prng(), ctx_.degree(), ctx_.params().sigma, e);
+    RNSPoly poly(ctx_, level, Format::Coeff, special);
+    embedSigned(ctx_, e, poly);
+    kernels::toEval(poly);
+    return poly;
+}
+
+PublicKey
+KeyGen::makePublicKey()
+{
+    const u32 L = ctx_.maxLevel();
+    RNSPoly a = sampleUniformPoly(L, 0);
+    RNSPoly b = sampleErrorPoly(L, 0); // b = e
+    RNSPoly as(ctx_, L, Format::Eval);
+    kernels::mul(as, a, sk_.s); // q-limbs of s align positionally
+    kernels::subInto(b, as);    // b = e - a*s
+    return PublicKey{std::move(b), std::move(a)};
+}
+
+EvalKey
+KeyGen::makeSwitchKey(const RNSPoly &sPrime)
+{
+    const u32 L = ctx_.maxLevel();
+    const u32 K = ctx_.numSpecial();
+    const u32 alpha = ctx_.digitSize();
+    const u32 dnum = ctx_.numDigits(L);
+
+    EvalKey key;
+    key.b.reserve(dnum);
+    key.a.reserve(dnum);
+    for (u32 j = 0; j < dnum; ++j) {
+        RNSPoly a = sampleUniformPoly(L, K);
+        RNSPoly b = sampleErrorPoly(L, K); // b = e_j
+
+        // b -= a * s over the full Q*P basis.
+        RNSPoly as(ctx_, L, Format::Eval, K);
+        kernels::mul(as, a, sk_.s);
+        kernels::subInto(b, as);
+
+        // b += (P * B_j) * s', where the per-limb factor is P mod q_i
+        // inside digit j and zero elsewhere.
+        RNSPoly scaled = sPrime.clone();
+        std::vector<u64> factor(scaled.numLimbs(), 0);
+        const u32 lo = j * alpha;
+        const u32 hi = std::min((j + 1) * alpha, L + 1);
+        for (u32 i = lo; i < hi; ++i)
+            factor[i] = ctx_.pModQ(i);
+        kernels::scalarMulInto(scaled, factor);
+        kernels::addInto(b, scaled);
+
+        key.b.push_back(std::move(b));
+        key.a.push_back(std::move(a));
+    }
+    return key;
+}
+
+EvalKey
+KeyGen::makeRelinKey()
+{
+    RNSPoly s2(ctx_, ctx_.maxLevel(), Format::Eval, ctx_.numSpecial());
+    kernels::mul(s2, sk_.s, sk_.s);
+    return makeSwitchKey(s2);
+}
+
+EvalKey
+KeyGen::makeRotationKey(i64 k)
+{
+    const u64 g = ctx_.rotationGaloisElt(k);
+    RNSPoly sg(ctx_, ctx_.maxLevel(), Format::Eval, ctx_.numSpecial());
+    kernels::automorph(sg, sk_.s, ctx_.automorphPerm(g));
+    return makeSwitchKey(sg);
+}
+
+EvalKey
+KeyGen::makeConjugationKey()
+{
+    const u64 g = ctx_.conjugateGaloisElt();
+    RNSPoly sg(ctx_, ctx_.maxLevel(), Format::Eval, ctx_.numSpecial());
+    kernels::automorph(sg, sk_.s, ctx_.automorphPerm(g));
+    return makeSwitchKey(sg);
+}
+
+KeyBundle
+KeyGen::makeBundle(const std::vector<i64> &rotations,
+                   bool withConjugation)
+{
+    KeyBundle bundle{makePublicKey(), makeRelinKey(), {}};
+    addRotationKeys(bundle, rotations);
+    if (withConjugation) {
+        bundle.galois.emplace(ctx_.conjugateGaloisElt(),
+                              makeConjugationKey());
+    }
+    return bundle;
+}
+
+void
+KeyGen::addRotationKeys(KeyBundle &bundle,
+                        const std::vector<i64> &rotations)
+{
+    for (i64 k : rotations) {
+        u64 g = ctx_.rotationGaloisElt(k);
+        if (g == 1 || bundle.galois.count(g))
+            continue;
+        bundle.galois.emplace(g, makeRotationKey(k));
+    }
+}
+
+} // namespace fideslib::ckks

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Client-side key generation (the OpenFHE role in Figure 1).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "ckks/keys.hpp"
+
+namespace fideslib::ckks
+{
+
+/** Generates the secret key and all server evaluation keys. */
+class KeyGen
+{
+  public:
+    explicit KeyGen(const Context &ctx);
+
+    const SecretKey &secretKey() const { return sk_; }
+
+    PublicKey makePublicKey();
+    /** Relinearization key: s^2 -> s. */
+    EvalKey makeRelinKey();
+    /** Rotation key for a left rotation by @p k slots. */
+    EvalKey makeRotationKey(i64 k);
+    /** Conjugation key (Galois element 2N - 1). */
+    EvalKey makeConjugationKey();
+
+    /** Convenience: pk + relin + rotation keys for @p rotations. */
+    KeyBundle makeBundle(const std::vector<i64> &rotations,
+                         bool withConjugation = false);
+
+    /** Adds rotation keys for @p rotations to an existing bundle. */
+    void addRotationKeys(KeyBundle &bundle,
+                         const std::vector<i64> &rotations);
+
+  private:
+    /** Key-switching key from @p sPrime (eval, full basis) to s. */
+    EvalKey makeSwitchKey(const RNSPoly &sPrime);
+    /** Samples a fresh uniform polynomial over the given shape. */
+    RNSPoly sampleUniformPoly(u32 level, u32 special);
+    /** Samples a Gaussian error polynomial (eval form). */
+    RNSPoly sampleErrorPoly(u32 level, u32 special);
+
+    const Context &ctx_;
+    SecretKey sk_;
+};
+
+/** Embeds signed coefficients into an RNS polynomial (coeff form). */
+void embedSigned(const Context &ctx, const std::vector<i64> &coeffs,
+                 RNSPoly &out);
+
+} // namespace fideslib::ckks

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Key material types: secret, public, and the hybrid key-switching
+ * keys (dnum digits, paper Section II-A).
+ *
+ * A key-switching key from s' to s holds, per digit j, a pair
+ * (b_j, a_j) over the extended modulus Q*P with
+ *   b_j = -a_j * s + e_j + P * B_j * s',
+ * where B_j = (Q/Q_j) * [(Q/Q_j)^{-1}]_{Q_j}. Modulo q_i, P * B_j is
+ * P mod q_i when i belongs to digit j and 0 otherwise (and 0 modulo
+ * the special primes), so key generation needs no multiprecision
+ * arithmetic beyond P mod q_i.
+ */
+
+#pragma once
+
+#include <map>
+
+#include "ckks/rnspoly.hpp"
+
+namespace fideslib::ckks
+{
+
+/** Secret key: s in evaluation form over Q and P, plus the signed
+ *  coefficient vector (kept client-side for decryption & tests). */
+struct SecretKey
+{
+    RNSPoly s;                 //!< eval form, level L, with special limbs
+    std::vector<i64> coeffs;   //!< signed ternary coefficients
+};
+
+/** Public encryption key (b, a) = (-a s + e, a) over Q. */
+struct PublicKey
+{
+    RNSPoly b;
+    RNSPoly a;
+};
+
+/** Hybrid key-switching key: one (b, a) pair per digit. */
+struct EvalKey
+{
+    std::vector<RNSPoly> b;
+    std::vector<RNSPoly> a;
+
+    u32 numDigits() const { return b.size(); }
+};
+
+/** All evaluation keys a server needs (the paper's KeySwitchingKey
+ *  plus the rotation-key table for HRotate/HoistedRotate). */
+struct KeyBundle
+{
+    PublicKey pk;
+    EvalKey relin;                 //!< s^2 -> s
+    std::map<u64, EvalKey> galois; //!< galoisElt -> key (rot + conj)
+};
+
+} // namespace fideslib::ckks

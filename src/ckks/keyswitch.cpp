@@ -1,0 +1,114 @@
+#include "ckks/keyswitch.hpp"
+
+#include "ckks/basechange.hpp"
+#include "ckks/kernels.hpp"
+#include "core/logging.hpp"
+
+namespace fideslib::ckks
+{
+
+namespace
+{
+
+constexpr u64 kWord = sizeof(u64);
+
+/**
+ * acc += gather(src, perm) * key, where limb i of acc (level l plus
+ * specials) matches limb keyPos(i) of the full-basis key polynomial.
+ */
+void
+mulAddMapped(RNSPoly &acc, const RNSPoly &src, const RNSPoly &keyPoly,
+             const std::vector<u32> *perm)
+{
+    const Context &ctx = acc.context();
+    const std::size_t n = ctx.degree();
+    const u32 L = ctx.maxLevel();
+
+    kernels::forBatches(ctx, acc.numLimbs(), 3 * n * kWord, n * kWord,
+                        6 * n,
+                        [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const u32 gi = acc.primeIdxAt(i);
+            const Modulus &m = ctx.prime(gi).mod;
+            // Limb of global prime gi in the full-basis key: q-limb
+            // gi sits at position gi, special limb k at L+1+k.
+            const std::size_t keyPos = gi <= L ? gi : L + 1 + (gi - (L + 1));
+            const u64 *kp = keyPoly.limb(keyPos).data();
+            const u64 *s = src.limb(i).data();
+            u64 *x = acc.limb(i).data();
+            const bool barrett =
+                ctx.modMulKind() == ModMulKind::Barrett;
+            if (perm) {
+                const u32 *pm = perm->data();
+                for (std::size_t j = 0; j < n; ++j) {
+                    u64 prod = barrett
+                                   ? mulModBarrett(s[pm[j]], kp[j], m)
+                                   : mulModNaive(s[pm[j]], kp[j],
+                                                 m.value);
+                    x[j] = addMod(x[j], prod, m.value);
+                }
+            } else {
+                for (std::size_t j = 0; j < n; ++j) {
+                    u64 prod = barrett
+                                   ? mulModBarrett(s[j], kp[j], m)
+                                   : mulModNaive(s[j], kp[j], m.value);
+                    x[j] = addMod(x[j], prod, m.value);
+                }
+            }
+        }
+    });
+}
+
+} // namespace
+
+RaisedDigits
+decomposeAndModUp(const RNSPoly &dEval)
+{
+    const Context &ctx = dEval.context();
+    FIDES_ASSERT(dEval.format() == Format::Eval);
+    FIDES_ASSERT(dEval.numSpecial() == 0);
+    const u32 level = dEval.level();
+
+    RNSPoly coeff = dEval.clone();
+    kernels::toCoeff(coeff);
+
+    RaisedDigits out;
+    out.level = level;
+    const u32 digits = ctx.numDigits(level);
+    out.digits.reserve(digits);
+    for (u32 j = 0; j < digits; ++j)
+        out.digits.push_back(modUpDigit(coeff, j));
+    return out;
+}
+
+std::pair<RNSPoly, RNSPoly>
+keySwitchAccumulate(const RaisedDigits &raised, const EvalKey &key,
+                    const std::vector<u32> *perm)
+{
+    FIDES_ASSERT(!raised.digits.empty());
+    const Context &ctx = raised.digits[0].context();
+    const u32 level = raised.level;
+    FIDES_ASSERT(raised.digits.size() <= key.numDigits());
+
+    RNSPoly acc0(ctx, level, Format::Eval, ctx.numSpecial());
+    RNSPoly acc1(ctx, level, Format::Eval, ctx.numSpecial());
+    acc0.setZero();
+    acc1.setZero();
+
+    for (std::size_t j = 0; j < raised.digits.size(); ++j) {
+        mulAddMapped(acc0, raised.digits[j], key.b[j], perm);
+        mulAddMapped(acc1, raised.digits[j], key.a[j], perm);
+    }
+
+    modDown(acc0);
+    modDown(acc1);
+    return {std::move(acc0), std::move(acc1)};
+}
+
+std::pair<RNSPoly, RNSPoly>
+keySwitch(const RNSPoly &dEval, const EvalKey &key)
+{
+    return keySwitchAccumulate(decomposeAndModUp(dEval), key);
+}
+
+} // namespace fideslib::ckks

@@ -1,0 +1,213 @@
+#include "ckks/lr.hpp"
+
+#include <cmath>
+
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+
+namespace fideslib::ckks::lr
+{
+
+namespace
+{
+
+// Degree-3 least-squares sigmoid fit on [-8, 8] (Han et al. [51]).
+constexpr double kSig0 = 0.5;
+constexpr double kSig1 = 0.197;
+constexpr double kSig3 = -0.004;
+
+} // namespace
+
+double
+sigmoid3(double x)
+{
+    return kSig0 + kSig1 * x + kSig3 * x * x * x;
+}
+
+Dataset
+generateLoanDataset(std::size_t samples, u32 features, u64 seed)
+{
+    Prng prng(seed);
+    Dataset data;
+    data.features = features;
+    data.x.resize(samples);
+    data.y.resize(samples);
+
+    // Ground-truth weights define the (noisy) decision boundary.
+    std::vector<double> wStar(features);
+    for (auto &w : wStar)
+        w = prng.normal(1.0);
+
+    for (std::size_t i = 0; i < samples; ++i) {
+        auto &row = data.x[i];
+        row.resize(features);
+        // A mix of "income-like" skewed features and indicators,
+        // normalized into [-1, 1] as the encrypted pipeline expects.
+        for (u32 j = 0; j < features; ++j) {
+            if (j % 5 == 0) {
+                row[j] = std::tanh(std::fabs(prng.normal(0.8)));
+            } else if (j % 5 == 1) {
+                row[j] = prng.uniform(2) ? 1.0 : -1.0;
+            } else {
+                row[j] = std::tanh(prng.normal(0.6));
+            }
+        }
+        double score = 0;
+        for (u32 j = 0; j < features; ++j)
+            score += wStar[j] * row[j];
+        score += prng.normal(0.5);
+        data.y[i] = score >= 0 ? 1.0 : -1.0;
+    }
+    return data;
+}
+
+std::vector<double>
+plainStep(const Dataset &data, std::size_t offset, std::size_t batch,
+          const std::vector<double> &w, double gamma)
+{
+    const u32 f = data.features;
+    std::vector<double> grad(f, 0.0);
+    for (std::size_t i = 0; i < batch; ++i) {
+        const auto &row = data.x[(offset + i) % data.x.size()];
+        const double y = data.y[(offset + i) % data.x.size()];
+        double t = 0;
+        for (u32 j = 0; j < f; ++j)
+            t += w[j] * y * row[j];
+        double s = sigmoid3(-t);
+        for (u32 j = 0; j < f; ++j)
+            grad[j] += s * y * row[j];
+    }
+    std::vector<double> out(w);
+    for (u32 j = 0; j < f; ++j)
+        out[j] += gamma / static_cast<double>(batch) * grad[j];
+    return out;
+}
+
+double
+accuracy(const Dataset &data, const std::vector<double> &w)
+{
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.x.size(); ++i) {
+        double t = 0;
+        for (u32 j = 0; j < data.features; ++j)
+            t += w[j] * data.x[i][j];
+        if ((t >= 0 ? 1.0 : -1.0) == data.y[i])
+            ++correct;
+    }
+    return static_cast<double>(correct) / data.x.size();
+}
+
+Trainer::Trainer(const Evaluator &eval, u32 features, u32 batch)
+    : eval_(eval), features_(features), batch_(batch)
+{
+    padded_ = 1;
+    while (padded_ < features_)
+        padded_ <<= 1;
+    FIDES_ASSERT(isPowerOfTwo(batch_));
+    FIDES_ASSERT(static_cast<u64>(padded_) * batch_
+                 <= eval.context().degree() / 2);
+}
+
+std::vector<i64>
+Trainer::requiredRotations() const
+{
+    std::vector<i64> rots;
+    for (u32 k = 1; k < padded_; k <<= 1) {
+        rots.push_back(static_cast<i64>(k));  // feature fold
+        rots.push_back(-static_cast<i64>(k)); // replicate
+    }
+    for (u32 k = 1; k < batch_; k <<= 1)
+        rots.push_back(static_cast<i64>(k) * padded_); // sample fold
+    return rots;
+}
+
+Ciphertext
+Trainer::encryptBatch(const Encryptor &encryptor, const Dataset &data,
+                      std::size_t offset, u32 level) const
+{
+    std::vector<std::complex<double>> z(slots(), {0.0, 0.0});
+    for (u32 i = 0; i < batch_; ++i) {
+        std::size_t s = (offset + i) % data.x.size();
+        for (u32 j = 0; j < features_; ++j)
+            z[i * padded_ + j] = {data.y[s] * data.x[s][j], 0.0};
+    }
+    const Encoder &enc = eval_.encoder();
+    return encryptor.encrypt(enc.encode(
+        z, slots(), level, eval_.context().levelScale(level)));
+}
+
+Ciphertext
+Trainer::encryptWeights(const Encryptor &encryptor,
+                        const std::vector<double> &w, u32 level) const
+{
+    std::vector<std::complex<double>> z(slots(), {0.0, 0.0});
+    for (u32 i = 0; i < batch_; ++i) {
+        for (u32 j = 0; j < features_; ++j)
+            z[i * padded_ + j] = {w[j], 0.0};
+    }
+    const Encoder &enc = eval_.encoder();
+    return encryptor.encrypt(enc.encode(
+        z, slots(), level, eval_.context().levelScale(level)));
+}
+
+std::vector<double>
+Trainer::extractWeights(const Encoder &enc, const Plaintext &pt) const
+{
+    auto z = enc.decode(pt);
+    std::vector<double> w(features_);
+    for (u32 j = 0; j < features_; ++j)
+        w[j] = z[j].real();
+    return w;
+}
+
+Ciphertext
+Trainer::iterate(const Ciphertext &w, const Ciphertext &zBatch,
+                 double gamma) const
+{
+    const Context &ctx = eval_.context();
+
+    // t = sum_j w_j z_ij, replicated across each sample row.
+    Ciphertext prod = eval_.multiplyC(w, zBatch);
+    for (u32 k = padded_ / 2; k >= 1; k >>= 1) {
+        Ciphertext rot = eval_.rotate(prod, static_cast<i64>(k));
+        eval_.addInPlace(prod, rot);
+    }
+    // Mask slot j=0 of every row, then replicate it across the row.
+    std::vector<Cplx> mask(slots(), Cplx(0, 0));
+    for (u32 i = 0; i < batch_; ++i)
+        mask[i * padded_] = Cplx(1, 0);
+    Ciphertext t = eval_.multiplyPlainC(prod, mask);
+    for (u32 k = 1; k < padded_; k <<= 1) {
+        Ciphertext rot = eval_.rotate(t, -static_cast<i64>(k));
+        eval_.addInPlace(t, rot);
+    }
+
+    // s = sigmoid3(-t) = 0.5 - kSig1 t - kSig3 t^3
+    //   = 0.5 - t (kSig1 + kSig3 t^2).
+    Ciphertext t2 = eval_.squareC(t);
+    Ciphertext inner = t2.clone();
+    eval_.multiplyScalarInPlace(inner, (long double)kSig3,
+                                ctx.levelScale(inner.level()));
+    eval_.rescaleInPlace(inner);
+    eval_.addScalarInPlace(inner, kSig1);
+    Ciphertext s = eval_.multiplyC(t, inner);
+    eval_.negateInPlace(s);
+    eval_.addScalarInPlace(s, kSig0);
+
+    // grad rows = s_i * z_i, then fold across samples.
+    Ciphertext g = eval_.multiplyC(s, zBatch);
+    for (u32 k = 1; k < batch_; k <<= 1) {
+        Ciphertext rot =
+            eval_.rotate(g, static_cast<i64>(k) * padded_);
+        eval_.addInPlace(g, rot);
+    }
+
+    // w <- w + (gamma / batch) * grad.
+    eval_.multiplyScalarInPlace(
+        g, (long double)(gamma / static_cast<double>(batch_)),
+        ctx.levelScale(g.level()));
+    eval_.rescaleInPlace(g);
+    return eval_.addC(w, g);
+}
+
+} // namespace fideslib::ckks::lr

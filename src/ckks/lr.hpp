@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Encrypted logistic-regression training (the paper's Table VII
+ * workload, following Han et al. [51]): mini-batch gradient descent
+ * where each ciphertext packs `batch` samples x `features` values
+ * (features padded to a power of two, 25 -> 32 in the paper), the
+ * per-sample inner products are computed with rotate-and-add feature
+ * folds, the sigmoid is the standard degree-3 polynomial
+ * approximation, and the gradient is accumulated with sample folds.
+ *
+ * The proprietary 45,000-sample loan-eligibility dataset is replaced
+ * by a deterministic synthetic generator with the same shape
+ * (DESIGN.md substitution #6).
+ */
+
+#pragma once
+
+#include "ckks/bootstrap.hpp"
+#include "ckks/encryptor.hpp"
+#include "ckks/evaluator.hpp"
+
+namespace fideslib::ckks::lr
+{
+
+/** Labeled dataset; y in {-1, +1}. */
+struct Dataset
+{
+    std::vector<std::vector<double>> x; //!< samples x features
+    std::vector<double> y;
+    u32 features = 0;
+};
+
+/** Deterministic synthetic loan-eligibility data (same shape as the
+ *  paper's 45,000 x 25 dataset). */
+Dataset generateLoanDataset(std::size_t samples, u32 features,
+                            u64 seed);
+
+/** Degree-3 sigmoid approximation sigma(x) on [-8, 8] (Han et al.). */
+double sigmoid3(double x);
+
+/** One plain mini-batch gradient step with the same approximations
+ *  the encrypted path uses (the accuracy oracle). */
+std::vector<double> plainStep(const Dataset &data, std::size_t offset,
+                              std::size_t batch,
+                              const std::vector<double> &w,
+                              double gamma);
+
+/** Classification accuracy of weights w on the dataset. */
+double accuracy(const Dataset &data, const std::vector<double> &w);
+
+/** Encrypted mini-batch logistic-regression trainer. */
+class Trainer
+{
+  public:
+    /**
+     * @param batch samples per ciphertext; batch * paddedFeatures
+     *        must equal the slot count used for encryption.
+     */
+    Trainer(const Evaluator &eval, u32 features, u32 batch);
+
+    u32 paddedFeatures() const { return padded_; }
+    u32 slots() const { return padded_ * batch_; }
+
+    /** Rotation indices iterate() needs. */
+    std::vector<i64> requiredRotations() const;
+
+    /** Packs and encrypts z_i = y_i * x_i for one mini-batch. */
+    Ciphertext encryptBatch(const Encryptor &encryptor,
+                            const Dataset &data, std::size_t offset,
+                            u32 level) const;
+
+    /** Encrypts the weight vector replicated across sample rows. */
+    Ciphertext encryptWeights(const Encryptor &encryptor,
+                              const std::vector<double> &w,
+                              u32 level) const;
+
+    /** Extracts the weight vector from a decrypted weights pt. */
+    std::vector<double> extractWeights(const Encoder &enc,
+                                       const Plaintext &pt) const;
+
+    /**
+     * One encrypted gradient-descent step:
+     * w <- w + (gamma/batch) * sum_i sigmoid3(-w . z_i) z_i.
+     * Consumes 7 levels; the returned weights are canonical.
+     */
+    Ciphertext iterate(const Ciphertext &w, const Ciphertext &zBatch,
+                       double gamma) const;
+
+    /** Multiplicative depth of one iterate() call. */
+    static u32 iterationDepth() { return 7; }
+
+  private:
+    const Evaluator &eval_;
+    u32 features_;
+    u32 padded_;
+    u32 batch_;
+};
+
+} // namespace fideslib::ckks::lr

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * CKKS parameter set (paper Table II notation): ring degree N = 2^logN,
+ * multiplicative depth L, scaling factor Delta = 2^logDelta, and the
+ * hybrid key-switching digit count dnum, plus backend execution
+ * options (limb batching, kernel fusion, NTT schedule, modular
+ * reduction strategy) that the benchmarks ablate.
+ */
+
+#pragma once
+
+#include "core/common.hpp"
+
+namespace fideslib::ckks
+{
+
+/** NTT loop schedule (paper Section III-F4). */
+enum class NttSchedule { Flat, Hierarchical };
+
+/** Modular multiplication strategy in element-wise kernels. */
+enum class ModMulKind { Barrett, Naive };
+
+/** CKKS parameter set plus backend configuration. */
+struct Parameters
+{
+    u32 logN = 13;          //!< ring degree N = 2^logN
+    u32 multDepth = 5;      //!< L: rescales available before bootstrap
+    u32 logDelta = 36;      //!< scaling factor bits (Delta ~ q_i)
+    u32 dnum = 2;           //!< hybrid key-switching digits
+    u32 firstModBits = 60;  //!< width of q0
+    u32 specialModBits = 60; //!< width of the P extension limbs
+    i64 secretHammingWeight = 0; //!< 0 = dense ternary secret
+    double sigma = 3.19;    //!< error sampler std deviation
+    u64 seed = 0x46494445;  //!< deterministic context randomness
+
+    // Backend execution configuration -----------------------------------
+    // Defaults are tuned for the host substrate: one launch per
+    // kernel (no real launch overhead to amortize, and the host cache
+    // prefers long streams) and the flat NTT schedule (the
+    // hierarchical 2D schedule is the GPU-optimal layout -- it trades
+    // cache-line utilization for coalesced strides, which inverts on
+    // a CPU). Figure 7's bench sweeps limbBatch with simulated launch
+    // overhead; Figure 4's bench compares the NTT schedules.
+    u32 limbBatch = 0;      //!< limbs per kernel launch (0 = all)
+    bool fusion = true;     //!< enable kernel fusion (Section III-F5)
+    NttSchedule nttSchedule = NttSchedule::Flat;
+    ModMulKind modMul = ModMulKind::Barrett;
+    u64 launchOverheadNs = 0; //!< simulated kernel-launch cost
+
+    u64 ringDegree() const { return 1ULL << logN; }
+    u64 scale() const { return 1ULL << logDelta; }
+    /** alpha: limbs per key-switching digit. */
+    u32 digitSize() const { return (multDepth + dnum) / dnum; }
+    /** K: number of special (extension) limbs. */
+    u32 specialLimbs() const { return digitSize(); }
+
+    /** Aborts via fatal() if the parameter set is inconsistent. */
+    void validate() const;
+
+    /** The paper's headline set [logN,L,Delta,dnum] = [16,29,59,4]. */
+    static Parameters paper16();
+    /** Figure 8 sets: [13,5,36,2], [14,13,49,3], [15,21,54,4]. */
+    static Parameters paper13();
+    static Parameters paper14();
+    static Parameters paper15();
+    /** Small set for fast unit tests. */
+    static Parameters testSmall();
+    /** Bootstrapping-capable test set (sparse secret). */
+    static Parameters testBoot();
+
+    /**
+     * Phantom-like configuration of the same set: no fusion, no limb
+     * batching, flat NTT (DESIGN.md substitution #4).
+     */
+    Parameters phantomSim() const;
+};
+
+} // namespace fideslib::ckks

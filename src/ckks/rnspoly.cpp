@@ -1,0 +1,69 @@
+#include "ckks/rnspoly.hpp"
+
+#include <cstring>
+
+#include "core/logging.hpp"
+
+namespace fideslib::ckks
+{
+
+RNSPoly::RNSPoly(const Context &ctx, u32 level, Format fmt,
+                 u32 specialLimbs)
+    : ctx_(&ctx), level_(level), special_(specialLimbs), format_(fmt)
+{
+    FIDES_ASSERT(level <= ctx.maxLevel());
+    FIDES_ASSERT(specialLimbs <= ctx.numSpecial());
+    for (u32 i = 0; i <= level; ++i)
+        part_.push(Limb(ctx, i));
+    for (u32 k = 0; k < specialLimbs; ++k)
+        part_.push(Limb(ctx, ctx.specialIdx(k)));
+}
+
+RNSPoly
+RNSPoly::clone() const
+{
+    RNSPoly c(*ctx_, level_, format_, special_);
+    for (std::size_t i = 0; i < part_.size(); ++i) {
+        std::memcpy(c.part_[i].data(), part_[i].data(),
+                    part_[i].size() * sizeof(u64));
+    }
+    return c;
+}
+
+void
+RNSPoly::setZero()
+{
+    for (std::size_t i = 0; i < part_.size(); ++i)
+        std::memset(part_[i].data(), 0, part_[i].size() * sizeof(u64));
+}
+
+void
+RNSPoly::dropLimb()
+{
+    FIDES_ASSERT(special_ == 0);
+    FIDES_ASSERT(level_ > 0);
+    part_.pop();
+    --level_;
+}
+
+void
+RNSPoly::appendSpecialLimbs()
+{
+    FIDES_ASSERT(special_ == 0);
+    for (u32 k = 0; k < ctx_->numSpecial(); ++k) {
+        Limb l(*ctx_, ctx_->specialIdx(k));
+        std::memset(l.data(), 0, l.size() * sizeof(u64));
+        part_.push(std::move(l));
+    }
+    special_ = ctx_->numSpecial();
+}
+
+void
+RNSPoly::dropSpecialLimbs()
+{
+    for (u32 k = 0; k < special_; ++k)
+        part_.pop();
+    special_ = 0;
+}
+
+} // namespace fideslib::ckks

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The RNS polynomial data hierarchy of the paper's Figure 2:
+ *
+ *   RNSPoly -> LimbPartition -> Limb -> DeviceVector
+ *
+ * An RNSPoly is an N-degree polynomial decomposed over the RNS base
+ * B = {q_0 ... q_l} (plus, transiently, the P extension limbs during
+ * key switching). Each Limb stores the polynomial modulo one prime as
+ * a device buffer; a LimbPartition groups the limbs that live on one
+ * device (single-GPU in this version, matching the paper's released
+ * configuration).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "ckks/context.hpp"
+#include "core/device.hpp"
+
+namespace fideslib::ckks
+{
+
+/** Domain of the stored values. */
+enum class Format { Coeff, Eval };
+
+/** One residue polynomial: N coefficients modulo one prime. */
+class Limb
+{
+  public:
+    Limb(const Context &ctx, u32 primeIdx)
+        : data_(ctx.degree()), primeIdx_(primeIdx)
+    {}
+
+    u64 *data() { return data_.data(); }
+    const u64 *data() const { return data_.data(); }
+    std::size_t size() const { return data_.size(); }
+    u32 primeIdx() const { return primeIdx_; }
+
+    Limb clone(const Context &ctx) const
+    {
+        Limb c(ctx, primeIdx_);
+        std::copy(data(), data() + size(), c.data());
+        return c;
+    }
+
+  private:
+    DeviceVector<u64> data_;
+    u32 primeIdx_;
+};
+
+/** The limbs of one polynomial resident on a single device. */
+class LimbPartition
+{
+  public:
+    explicit LimbPartition(int deviceId = 0) : deviceId_(deviceId) {}
+
+    int deviceId() const { return deviceId_; }
+    std::size_t size() const { return limbs_.size(); }
+    Limb &operator[](std::size_t i) { return limbs_[i]; }
+    const Limb &operator[](std::size_t i) const { return limbs_[i]; }
+
+    void push(Limb &&l) { limbs_.push_back(std::move(l)); }
+    void pop() { limbs_.pop_back(); }
+    void clear() { limbs_.clear(); }
+
+  private:
+    std::vector<Limb> limbs_;
+    int deviceId_;
+};
+
+/**
+ * An RNS polynomial at a given level: limbs 0..level hold residues
+ * modulo q_0..q_level; when present, `special` further limbs hold the
+ * residues modulo the P extension primes (key-switching raised form).
+ */
+class RNSPoly
+{
+  public:
+    RNSPoly(const Context &ctx, u32 level, Format fmt,
+            u32 specialLimbs = 0);
+
+    const Context &context() const { return *ctx_; }
+    u32 level() const { return level_; }
+    u32 numSpecial() const { return special_; }
+    /** Total number of limbs, q plus special. */
+    std::size_t numLimbs() const { return part_.size(); }
+    Format format() const { return format_; }
+    void setFormat(Format f) { format_ = f; }
+
+    /** Limb by position: 0..level are q-limbs, then special limbs. */
+    Limb &limb(std::size_t i) { return part_[i]; }
+    const Limb &limb(std::size_t i) const { return part_[i]; }
+
+    /** Global prime index of limb position i. */
+    u32 primeIdxAt(std::size_t i) const { return part_[i].primeIdx(); }
+
+    LimbPartition &partition() { return part_; }
+    const LimbPartition &partition() const { return part_; }
+
+    /** Deep copy. */
+    RNSPoly clone() const;
+
+    /** Fills every limb with zeros. */
+    void setZero();
+
+    /** Drops the top q-limb (Rescale bookkeeping). */
+    void dropLimb();
+
+    /** Appends zeroed special limbs (pre-ModUp working form). */
+    void appendSpecialLimbs();
+
+    /** Removes the special limbs (post-ModDown). */
+    void dropSpecialLimbs();
+
+  private:
+    const Context *ctx_;
+    u32 level_;
+    u32 special_;
+    Format format_;
+    LimbPartition part_;
+};
+
+} // namespace fideslib::ckks

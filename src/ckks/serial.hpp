@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Binary serialization of client-side (host) objects -- the
+ * Serialize/Deserialize client operations of the paper's Figure 1.
+ * Format: little-endian, magic + version header, no compression.
+ */
+
+#pragma once
+
+#include <iosfwd>
+
+#include "ckks/adapter.hpp"
+
+namespace fideslib::ckks::serial
+{
+
+void write(std::ostream &os, const HostCiphertext &ct);
+HostCiphertext readCiphertext(std::istream &is);
+
+void write(std::ostream &os, const HostPlaintext &pt);
+HostPlaintext readPlaintext(std::istream &is);
+
+} // namespace fideslib::ckks::serial

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Common scalar types and bit-manipulation helpers shared by every
+ * FIDESlib module.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace fideslib
+{
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+/** Returns floor(log2(x)) for x > 0. */
+constexpr u32
+log2Floor(u64 x)
+{
+    u32 r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** Returns true iff x is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/**
+ * Reverses the low @p bits bits of @p x. Used for the bit-reversed
+ * orderings produced/consumed by the radix-2 (i)NTT.
+ */
+constexpr u64
+bitReverse(u64 x, u32 bits)
+{
+    u64 r = 0;
+    for (u32 i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+/** High 64 bits of a 64x64 -> 128 bit multiplication ("wide" multiply). */
+inline u64
+mulHigh64(u64 a, u64 b)
+{
+    return static_cast<u64>((static_cast<u128>(a) * b) >> 64);
+}
+
+/** Ceiling division for unsigned integers. */
+constexpr u64
+ceilDiv(u64 a, u64 b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace fideslib

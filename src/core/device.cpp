@@ -1,0 +1,111 @@
+#include "core/device.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace fideslib
+{
+
+double
+DeviceProfile::modeledTimeUs(const KernelCounters &c) const
+{
+    double launchUs = c.launches * launchOverheadNs * 1e-3;
+    double bytes = static_cast<double>(c.bytesRead + c.bytesWritten);
+    double memUs = bytes / (bandwidthGBs * 1e3); // GB/s -> bytes/us
+    double computeUs = static_cast<double>(c.intOps)
+                     / (int32Tops * 1e6); // TOPS -> ops/us
+    return launchUs + std::max(memUs, computeUs);
+}
+
+const std::vector<DeviceProfile> &
+platformTable()
+{
+    static const std::vector<DeviceProfile> table = {
+        // name, int32 TOPS, bandwidth GB/s, L2 MB, launch overhead ns
+        {"Ryzen-9-7900", 2.13, 81.0, 64.0, 150.0},
+        {"RTX-4060Ti",  11.03, 288.0, 32.0, 2800.0},
+        {"RTX-A4500",   11.83, 640.0,  6.0, 3600.0},
+        {"V100",        14.13, 897.0,  6.0, 4200.0},
+        {"RTX-4090",    41.29, 1000.0, 72.0, 2200.0},
+    };
+    return table;
+}
+
+MemPool::~MemPool()
+{
+    trim();
+}
+
+void *
+MemPool::allocate(std::size_t bytes)
+{
+    ++allocCalls_;
+    bytesInUse_ += bytes;
+    bytesPeak_ = std::max(bytesPeak_, bytesInUse_);
+    auto it = freeLists_.find(bytes);
+    if (it != freeLists_.end() && !it->second.empty()) {
+        void *p = it->second.back();
+        it->second.pop_back();
+        bytesCached_ -= bytes;
+        ++poolHits_;
+        return p;
+    }
+    void *p = std::malloc(bytes);
+    FIDES_ASSERT(p != nullptr);
+    return p;
+}
+
+void
+MemPool::release(void *ptr, std::size_t bytes)
+{
+    bytesInUse_ -= bytes;
+    bytesCached_ += bytes;
+    freeLists_[bytes].push_back(ptr);
+    // Keep the cache bounded (4 GiB) so long sweeps do not hoard RAM.
+    if (bytesCached_ > (4ULL << 30))
+        trim();
+}
+
+void
+MemPool::trim()
+{
+    for (auto &[sz, list] : freeLists_) {
+        for (void *p : list)
+            std::free(p);
+        bytesCached_ -= sz * list.size();
+        list.clear();
+    }
+}
+
+void
+Device::launch(u64 bytesRead, u64 bytesWritten, u64 intOps)
+{
+    ++counters_.launches;
+    counters_.bytesRead += bytesRead;
+    counters_.bytesWritten += bytesWritten;
+    counters_.intOps += intOps;
+    if (launchOverheadNs_)
+        spinNs(launchOverheadNs_);
+}
+
+Device &
+Device::instance()
+{
+    // Intentionally leaked: DeviceVector destructors run from static
+    // teardown in arbitrary order, so the device must outlive every
+    // other static object (the OS reclaims the pool at exit).
+    static Device *device = new Device();
+    return *device;
+}
+
+void
+spinNs(u64 ns)
+{
+    using clock = std::chrono::steady_clock;
+    auto end = clock::now() + std::chrono::nanoseconds(ns);
+    while (clock::now() < end) {
+        // busy wait
+    }
+}
+
+} // namespace fideslib

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Simulated GPU device substrate.
+ *
+ * The paper's backend targets CUDA: RAII device buffers allocated from
+ * the stream-ordered memory pool (`VectorGPU`), kernels launched on
+ * CUDA streams, and a per-launch CPU overhead that motivates limb
+ * batching. This container has no GPU, so the substrate is modelled:
+ *
+ *  - MemPool      stream-ordered pool allocator (size-class free
+ *                 lists, allocation statistics, peak tracking).
+ *  - DeviceVector RAII buffer on the pool; also supports the paper's
+ *                 "unmanaged" views into a flattened 2-D allocation.
+ *  - Stream       in-order execution context; kernels run eagerly on
+ *                 the host but each launch is accounted and can pay a
+ *                 configurable simulated launch overhead (busy-wait),
+ *                 reproducing the launch-bound regime of Figure 7.
+ *  - KernelCounters / DeviceProfile
+ *                 every kernel reports bytes touched and integer op
+ *                 counts; a roofline model over the platform table
+ *                 (paper Table IV) converts the counters into modelled
+ *                 times for the four GPU platforms.
+ *
+ * All kernel bodies are real computation -- only the execution
+ * substrate is simulated (see DESIGN.md, substitution #1).
+ */
+
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/logging.hpp"
+
+namespace fideslib
+{
+
+/** Aggregate work counters reported by every kernel launch. */
+struct KernelCounters
+{
+    u64 launches = 0;
+    u64 bytesRead = 0;
+    u64 bytesWritten = 0;
+    u64 intOps = 0;
+
+    void
+    operator+=(const KernelCounters &o)
+    {
+        launches += o.launches;
+        bytesRead += o.bytesRead;
+        bytesWritten += o.bytesWritten;
+        intOps += o.intOps;
+    }
+};
+
+/** One compute platform from Table IV of the paper. */
+struct DeviceProfile
+{
+    std::string name;
+    double int32Tops;       //!< 32b integer TOPS
+    double bandwidthGBs;    //!< DRAM bandwidth
+    double l2CacheMB;       //!< shared cache capacity
+    double launchOverheadNs; //!< per-kernel CPU launch cost
+
+    /** Roofline-modelled execution time for a set of counters. */
+    double modeledTimeUs(const KernelCounters &c) const;
+};
+
+/** The four GPUs (and the CPU) the paper evaluates on (Table IV). */
+const std::vector<DeviceProfile> &platformTable();
+
+/**
+ * Stream-ordered pool allocator. Frees go back to a size-class free
+ * list and are recycled by later allocations, mirroring CUDA's
+ * cudaMemPool_t behaviour that makes RAII device buffers cheap.
+ */
+class MemPool
+{
+  public:
+    ~MemPool();
+
+    void *allocate(std::size_t bytes);
+    void release(void *ptr, std::size_t bytes);
+
+    u64 bytesInUse() const { return bytesInUse_; }
+    u64 bytesPeak() const { return bytesPeak_; }
+    u64 allocCalls() const { return allocCalls_; }
+    u64 poolHits() const { return poolHits_; }
+
+    /** Returns cached blocks to the host allocator. */
+    void trim();
+
+  private:
+    std::map<std::size_t, std::vector<void *>> freeLists_;
+    u64 bytesInUse_ = 0;
+    u64 bytesPeak_ = 0;
+    u64 bytesCached_ = 0;
+    u64 allocCalls_ = 0;
+    u64 poolHits_ = 0;
+};
+
+/**
+ * Simulated device: owns the memory pool, the kernel counters, and
+ * the launch-overhead configuration.
+ */
+class Device
+{
+  public:
+    MemPool &pool() { return pool_; }
+    KernelCounters &counters() { return counters_; }
+    const KernelCounters &counters() const { return counters_; }
+    void resetCounters() { counters_ = {}; }
+
+    /** Simulated per-launch CPU overhead (0 disables the spin). */
+    void setLaunchOverheadNs(u64 ns) { launchOverheadNs_ = ns; }
+    u64 launchOverheadNs() const { return launchOverheadNs_; }
+
+    /**
+     * Accounts one kernel launch (bytes/ops) and pays the simulated
+     * launch overhead. Call before running the kernel body.
+     */
+    void launch(u64 bytesRead, u64 bytesWritten, u64 intOps);
+
+    /** Process-wide device instance (one simulated GPU). */
+    static Device &instance();
+
+  private:
+    MemPool pool_;
+    KernelCounters counters_;
+    u64 launchOverheadNs_ = 0;
+};
+
+/** Busy-waits for approximately @p ns nanoseconds. */
+void spinNs(u64 ns);
+
+/**
+ * RAII device buffer, the stand-in for the paper's VectorGPU.
+ *
+ * Managed vectors own pool memory; unmanaged vectors wrap a caller-
+ * provided pointer (the paper's flattened-2D-with-simulated-stack
+ * pattern for short-lived, constant-sized RNS polynomials).
+ */
+template <typename T>
+class DeviceVector
+{
+  public:
+    DeviceVector() = default;
+
+    explicit DeviceVector(std::size_t n)
+        : size_(n), owned_(true)
+    {
+        data_ = static_cast<T *>(
+            Device::instance().pool().allocate(n * sizeof(T)));
+    }
+
+    /** Unmanaged view: memory owned by a higher-level class. */
+    DeviceVector(T *ptr, std::size_t n)
+        : data_(ptr), size_(n), owned_(false)
+    {}
+
+    DeviceVector(const DeviceVector &) = delete;
+    DeviceVector &operator=(const DeviceVector &) = delete;
+
+    DeviceVector(DeviceVector &&o) noexcept
+        : data_(o.data_), size_(o.size_), owned_(o.owned_)
+    {
+        o.data_ = nullptr;
+        o.size_ = 0;
+        o.owned_ = false;
+    }
+
+    DeviceVector &
+    operator=(DeviceVector &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            data_ = o.data_;
+            size_ = o.size_;
+            owned_ = o.owned_;
+            o.data_ = nullptr;
+            o.size_ = 0;
+            o.owned_ = false;
+        }
+        return *this;
+    }
+
+    ~DeviceVector() { destroy(); }
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool managed() const { return owned_; }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    /** Deep copy into a new managed vector. */
+    DeviceVector
+    clone() const
+    {
+        DeviceVector c(size_);
+        std::memcpy(c.data_, data_, size_ * sizeof(T));
+        return c;
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (owned_ && data_) {
+            Device::instance().pool().release(data_, size_ * sizeof(T));
+        }
+        data_ = nullptr;
+    }
+
+    T *data_ = nullptr;
+    std::size_t size_ = 0;
+    bool owned_ = false;
+};
+
+/**
+ * An in-order execution stream. Kernels submitted to different
+ * streams are independent; the host substrate executes them eagerly,
+ * so a Stream is an accounting context (plus the launch overhead).
+ */
+class Stream
+{
+  public:
+    explicit Stream(int id = 0) : id_(id) {}
+    int id() const { return id_; }
+
+  private:
+    int id_;
+};
+
+} // namespace fideslib

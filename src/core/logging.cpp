@@ -1,0 +1,85 @@
+#include "core/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fideslib
+{
+
+namespace
+{
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+void
+vlogMessage(LogLevel level, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "[fideslib:%s] ", levelTag(level));
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+    if (level == LogLevel::Panic)
+        std::abort();
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogMessage(level, fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogMessage(LogLevel::Inform, fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogMessage(LogLevel::Warn, fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogMessage(LogLevel::Fatal, fmt, ap);
+    va_end(ap);
+    std::abort(); // unreachable; silences [[noreturn]] warnings
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlogMessage(LogLevel::Panic, fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+} // namespace fideslib

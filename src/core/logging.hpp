@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal status/error reporting helpers, following the gem5 convention:
+ * panic() for internal invariant violations (library bugs), fatal() for
+ * unrecoverable user errors (bad parameters), warn()/inform() for
+ * non-fatal diagnostics.
+ */
+
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace fideslib
+{
+
+/** Severity used by logMessage(). */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Formats and emits one message to stderr. Fatal exits with code 1,
+ * Panic aborts. Not intended to be called directly; use the helpers.
+ */
+[[gnu::format(printf, 2, 3)]]
+void logMessage(LogLevel level, const char *fmt, ...);
+
+/** User-facing status message. */
+[[gnu::format(printf, 1, 2)]]
+void inform(const char *fmt, ...);
+
+/** Suspicious-but-survivable condition. */
+[[gnu::format(printf, 1, 2)]]
+void warn(const char *fmt, ...);
+
+/** Unrecoverable user error (bad configuration, invalid arguments). */
+[[noreturn, gnu::format(printf, 1, 2)]]
+void fatal(const char *fmt, ...);
+
+/** Internal invariant violation: a library bug. Aborts. */
+[[noreturn, gnu::format(printf, 1, 2)]]
+void panic(const char *fmt, ...);
+
+/** panic() unless @p cond holds. */
+#define FIDES_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::fideslib::panic("assertion failed (%s:%d): %s",               \
+                              __FILE__, __LINE__, #cond);                   \
+    } while (0)
+
+} // namespace fideslib

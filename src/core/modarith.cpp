@@ -1,0 +1,55 @@
+#include "core/modarith.hpp"
+
+#include "core/logging.hpp"
+
+namespace fideslib
+{
+
+Modulus::Modulus(u64 p)
+    : value(p), bits(log2Floor(p) + 1)
+{
+    FIDES_ASSERT(p > 1);
+    FIDES_ASSERT(bits <= kMaxModulusBits);
+
+    // ratio = floor(2^128 / p) via 128-bit long division in two halves.
+    u128 numerHigh = (static_cast<u128>(1) << 64) / p; // floor(2^64/p)
+    u128 remHigh = (static_cast<u128>(1) << 64) % p;   // 2^64 mod p
+    // floor(2^128/p) = floor(2^64/p)*2^64 + floor((2^64 mod p)*2^64 / p)
+    u128 low = (remHigh << 64) / p;
+    ratio[1] = static_cast<u64>(numerHigh);
+    ratio[0] = static_cast<u64>(low);
+
+    if (p & 1) {
+        // Newton iteration for -p^{-1} mod 2^64.
+        u64 inv = p; // correct mod 2^3
+        for (int i = 0; i < 5; ++i)
+            inv *= 2 - p * inv;
+        montInv = ~inv + 1; // -p^{-1}
+        // 2^128 mod p = (2^64 mod p)^2 mod p
+        u64 r = static_cast<u64>(remHigh);
+        montR2 = static_cast<u64>((static_cast<u128>(r) * r) % p);
+    }
+}
+
+u64
+powMod(u64 base, u64 exp, const Modulus &m)
+{
+    u64 result = 1;
+    u64 b = base >= m.value ? base % m.value : base;
+    while (exp) {
+        if (exp & 1)
+            result = mulModBarrett(result, b, m);
+        b = mulModBarrett(b, b, m);
+        exp >>= 1;
+    }
+    return result;
+}
+
+u64
+invMod(u64 a, const Modulus &m)
+{
+    FIDES_ASSERT(a % m.value != 0);
+    return powMod(a, m.value - 2, m);
+}
+
+} // namespace fideslib

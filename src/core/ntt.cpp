@@ -1,0 +1,275 @@
+#include "core/ntt.hpp"
+
+#include "core/logging.hpp"
+
+namespace fideslib
+{
+
+namespace
+{
+
+/** Forward (CT) butterfly with lazy [0, 4p) bounds. */
+inline void
+ctButterfly(u64 &x, u64 &y, u64 w, u64 wShoup, u64 p, u64 twoP)
+{
+    u64 u = x;
+    if (u >= twoP)
+        u -= twoP;
+    u64 v = mulModShoupLazy(y, w, wShoup, p); // < 2p for any y < 2^64
+    x = u + v;
+    y = u + twoP - v;
+}
+
+/** Inverse (GS) butterfly with lazy [0, 2p) outputs. */
+inline void
+gsButterfly(u64 &x, u64 &y, u64 w, u64 wShoup, u64 p, u64 twoP)
+{
+    u64 u = x;
+    if (u >= twoP)
+        u -= twoP;
+    u64 v = y;
+    if (v >= twoP)
+        v -= twoP;
+    u64 s = u + v;
+    if (s >= twoP)
+        s -= twoP;
+    x = s;
+    y = mulModShoupLazy(u + twoP - v, w, wShoup, p);
+}
+
+/** Final correction from lazy bounds to strict [0, p). */
+inline void
+correct(u64 *a, std::size_t n, u64 p, u64 twoP)
+{
+    for (std::size_t j = 0; j < n; ++j) {
+        u64 v = a[j];
+        if (v >= twoP)
+            v -= twoP;
+        if (v >= p)
+            v -= p;
+        a[j] = v;
+    }
+}
+
+} // namespace
+
+NttTables::NttTables(std::size_t n, const Modulus &m, u64 psi)
+    : n_(n), logN_(log2Floor(n)), mod_(m), psi_(psi)
+{
+    FIDES_ASSERT(isPowerOfTwo(n));
+    FIDES_ASSERT(powMod(psi, n, m) == m.value - 1); // primitive 2n-th root
+
+    rootPow_.resize(n);
+    rootPowShoup_.resize(n);
+    invRootPow_.resize(n);
+    invRootPowShoup_.resize(n);
+
+    u64 psiInv = invMod(psi, m);
+    u64 fwd = 1, inv = 1;
+    std::vector<u64> fwdNat(n), invNat(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        fwdNat[i] = fwd;
+        invNat[i] = inv;
+        fwd = mulModBarrett(fwd, psi, m);
+        inv = mulModBarrett(inv, psiInv, m);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        u64 r = bitReverse(i, logN_);
+        rootPow_[i] = fwdNat[r];
+        invRootPow_[i] = invNat[r];
+        rootPowShoup_[i] = shoupPrecompute(rootPow_[i], m.value);
+        invRootPowShoup_[i] = shoupPrecompute(invRootPow_[i], m.value);
+    }
+    nInv_ = invMod(static_cast<u64>(n), m);
+    nInvShoup_ = shoupPrecompute(nInv_, m.value);
+}
+
+void
+nttForward(u64 *a, const NttTables &t)
+{
+    const std::size_t n = t.degree();
+    const u64 p = t.modulus().value;
+    const u64 twoP = 2 * p;
+    const u64 *w = t.rootPow();
+    const u64 *ws = t.rootPowShoup();
+
+    std::size_t tt = n;
+    for (std::size_t m = 1; m < n; m <<= 1) {
+        tt >>= 1;
+        for (std::size_t i = 0; i < m; ++i) {
+            const u64 wi = w[m + i];
+            const u64 wsi = ws[m + i];
+            const std::size_t j1 = 2 * i * tt;
+            for (std::size_t j = j1; j < j1 + tt; ++j)
+                ctButterfly(a[j], a[j + tt], wi, wsi, p, twoP);
+        }
+    }
+    correct(a, n, p, twoP);
+}
+
+void
+nttInverse(u64 *a, const NttTables &t)
+{
+    const std::size_t n = t.degree();
+    const u64 p = t.modulus().value;
+    const u64 twoP = 2 * p;
+    const u64 *w = t.invRootPow();
+    const u64 *ws = t.invRootPowShoup();
+
+    std::size_t tt = 1;
+    for (std::size_t m = n; m > 1; m >>= 1) {
+        const std::size_t h = m >> 1;
+        std::size_t j1 = 0;
+        for (std::size_t i = 0; i < h; ++i) {
+            const u64 wi = w[h + i];
+            const u64 wsi = ws[h + i];
+            for (std::size_t j = j1; j < j1 + tt; ++j)
+                gsButterfly(a[j], a[j + tt], wi, wsi, p, twoP);
+            j1 += 2 * tt;
+        }
+        tt <<= 1;
+    }
+    const u64 nInv = t.nInv();
+    const u64 nInvS = t.nInvShoup();
+    for (std::size_t j = 0; j < n; ++j)
+        a[j] = mulModShoup(a[j] >= twoP ? a[j] - twoP : a[j],
+                           nInv, nInvS, p);
+    // mulModShoup output is already in [0, p).
+}
+
+void
+nttForwardHierarchical(u64 *a, const NttTables &t)
+{
+    const std::size_t n = t.degree();
+    const u32 logN = log2Floor(n);
+    const u32 logN1 = logN / 2;
+    const std::size_t n1 = std::size_t{1} << logN1;
+    const std::size_t n2 = n / n1;
+    const u64 p = t.modulus().value;
+    const u64 twoP = 2 * p;
+    const u64 *w = t.rootPow();
+    const u64 *ws = t.rootPowShoup();
+
+    // Column pass: the first log2(n1) stages touch elements that are
+    // congruent mod n2, i.e. each column {col + n2*r} is an
+    // independent size-n1 sub-transform reading the shared twiddle
+    // table at the same indices as the flat schedule.
+    for (std::size_t col = 0; col < n2; ++col) {
+        u64 *base = a + col;
+        std::size_t tt = n1;
+        for (std::size_t m = 1; m < n1; m <<= 1) {
+            tt >>= 1;
+            for (std::size_t i = 0; i < m; ++i) {
+                const u64 wi = w[m + i];
+                const u64 wsi = ws[m + i];
+                const std::size_t r1 = 2 * i * tt;
+                for (std::size_t r = r1; r < r1 + tt; ++r) {
+                    ctButterfly(base[r * n2], base[(r + tt) * n2],
+                                wi, wsi, p, twoP);
+                }
+            }
+        }
+    }
+
+    // Row pass: remaining stages are local to each contiguous block
+    // of n2 elements; twiddle index depends on the block (this is the
+    // per-block twiddle correction of the 4-step algorithm).
+    for (std::size_t b = 0; b < n1; ++b) {
+        u64 *base = a + b * n2;
+        std::size_t tt = n2;
+        for (std::size_t mLoc = 1; mLoc < n2; mLoc <<= 1) {
+            tt >>= 1;
+            for (std::size_t i = 0; i < mLoc; ++i) {
+                const std::size_t wIdx = mLoc * (n1 + b) + i;
+                const u64 wi = w[wIdx];
+                const u64 wsi = ws[wIdx];
+                const std::size_t j1 = 2 * i * tt;
+                for (std::size_t j = j1; j < j1 + tt; ++j)
+                    ctButterfly(base[j], base[j + tt], wi, wsi, p, twoP);
+            }
+        }
+    }
+    correct(a, n, p, twoP);
+}
+
+void
+nttInverseHierarchical(u64 *a, const NttTables &t)
+{
+    const std::size_t n = t.degree();
+    const u32 logN = log2Floor(n);
+    const u32 logN1 = logN / 2;
+    const std::size_t n1 = std::size_t{1} << logN1;
+    const std::size_t n2 = n / n1;
+    const u64 p = t.modulus().value;
+    const u64 twoP = 2 * p;
+    const u64 *w = t.invRootPow();
+    const u64 *ws = t.invRootPowShoup();
+
+    // Row pass first (inverse runs stages in reverse order).
+    for (std::size_t b = 0; b < n1; ++b) {
+        u64 *base = a + b * n2;
+        std::size_t tt = 1;
+        for (std::size_t mLoc = n2; mLoc > 1; mLoc >>= 1) {
+            const std::size_t hLoc = mLoc >> 1;
+            std::size_t j1 = 0;
+            for (std::size_t i = 0; i < hLoc; ++i) {
+                const std::size_t wIdx = hLoc * (n1 + b) + i;
+                const u64 wi = w[wIdx];
+                const u64 wsi = ws[wIdx];
+                for (std::size_t j = j1; j < j1 + tt; ++j)
+                    gsButterfly(base[j], base[j + tt], wi, wsi, p, twoP);
+                j1 += 2 * tt;
+            }
+            tt <<= 1;
+        }
+    }
+
+    // Column pass.
+    for (std::size_t col = 0; col < n2; ++col) {
+        u64 *base = a + col;
+        std::size_t tt = 1;
+        for (std::size_t m = n1; m > 1; m >>= 1) {
+            const std::size_t h = m >> 1;
+            std::size_t r1 = 0;
+            for (std::size_t i = 0; i < h; ++i) {
+                const u64 wi = w[h + i];
+                const u64 wsi = ws[h + i];
+                for (std::size_t r = r1; r < r1 + tt; ++r) {
+                    gsButterfly(base[r * n2], base[(r + tt) * n2],
+                                wi, wsi, p, twoP);
+                }
+                r1 += 2 * tt;
+            }
+            tt <<= 1;
+        }
+    }
+
+    const u64 nInv = t.nInv();
+    const u64 nInvS = t.nInvShoup();
+    for (std::size_t j = 0; j < n; ++j)
+        a[j] = mulModShoup(a[j] >= twoP ? a[j] - twoP : a[j],
+                           nInv, nInvS, p);
+}
+
+std::vector<u64>
+nttNaive(const std::vector<u64> &a, const NttTables &t)
+{
+    const std::size_t n = t.degree();
+    const Modulus &m = t.modulus();
+    const u32 logN = log2Floor(n);
+    std::vector<u64> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        u64 e = 2 * bitReverse(i, logN) + 1;
+        u64 x = powMod(t.psi(), e, m);
+        u64 acc = 0;
+        u64 xp = 1;
+        for (std::size_t j = 0; j < n; ++j) {
+            acc = addMod(acc, mulModBarrett(a[j], xp, m), m.value);
+            xp = mulModBarrett(xp, x, m);
+        }
+        out[i] = acc;
+    }
+    return out;
+}
+
+} // namespace fideslib

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Negacyclic Number Theoretic Transform over word-sized prime moduli.
+ *
+ * The forward transform is a radix-2 Cooley-Tukey decimation-in-time
+ * NTT taking a natural-order coefficient vector to a bit-reversed
+ * evaluation vector; the inverse uses Gentleman-Sande butterflies and
+ * takes bit-reversed evaluations back to natural-order coefficients,
+ * eliminating explicit bit-reversal steps (paper, Section III-F4).
+ *
+ * Butterflies use Shoup modular multiplication with precomputed
+ * twiddle constants and lazy [0, 4p) intermediates (Harvey-style),
+ * with a single correction pass at the end.
+ *
+ * Two execution schedules are provided over identical arithmetic:
+ *  - nttForward/nttInverse: the textbook single-pass loop nest, and
+ *  - nttForwardHierarchical/nttInverseHierarchical: the paper's
+ *    hierarchical ("2D") schedule that splits the transform into
+ *    sqrt(N)-sized column and row passes so each element is touched
+ *    by only two passes (four memory accesses per element), mirroring
+ *    the GPU thread-block decomposition of Figure 3.
+ *
+ * Evaluation-order contract (used by automorphism tables): output
+ * slot i of the forward transform holds the polynomial evaluated at
+ * psi^(2 * bitReverse(i, log2(n)) + 1).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/modarith.hpp"
+
+namespace fideslib
+{
+
+/** Precomputed twiddle tables for one (modulus, ring degree) pair. */
+class NttTables
+{
+  public:
+    /**
+     * Builds tables for ring degree @p n (power of two) and modulus
+     * @p m, with psi a primitive 2n-th root of unity mod m.
+     */
+    NttTables(std::size_t n, const Modulus &m, u64 psi);
+
+    std::size_t degree() const { return n_; }
+    const Modulus &modulus() const { return mod_; }
+    u64 psi() const { return psi_; }
+
+    const u64 *rootPow() const { return rootPow_.data(); }
+    const u64 *rootPowShoup() const { return rootPowShoup_.data(); }
+    const u64 *invRootPow() const { return invRootPow_.data(); }
+    const u64 *invRootPowShoup() const { return invRootPowShoup_.data(); }
+    u64 nInv() const { return nInv_; }
+    u64 nInvShoup() const { return nInvShoup_; }
+
+  private:
+    std::size_t n_;
+    u32 logN_;
+    Modulus mod_;
+    u64 psi_;
+    //! psi^bitrev(i): forward twiddles in access order.
+    std::vector<u64> rootPow_, rootPowShoup_;
+    //! psi^-bitrev(i): inverse twiddles in access order.
+    std::vector<u64> invRootPow_, invRootPowShoup_;
+    u64 nInv_, nInvShoup_;
+};
+
+/** In-place forward NTT, natural order in, bit-reversed order out. */
+void nttForward(u64 *a, const NttTables &t);
+
+/** In-place inverse NTT, bit-reversed in, natural order out. */
+void nttInverse(u64 *a, const NttTables &t);
+
+/** Hierarchical (2D) schedule of the forward NTT; same output. */
+void nttForwardHierarchical(u64 *a, const NttTables &t);
+
+/** Hierarchical (2D) schedule of the inverse NTT; same output. */
+void nttInverseHierarchical(u64 *a, const NttTables &t);
+
+/**
+ * Reference O(n^2) negacyclic evaluation used by tests: returns the
+ * polynomial evaluated at psi^(2*bitReverse(i)+1) for each i.
+ */
+std::vector<u64> nttNaive(const std::vector<u64> &a, const NttTables &t);
+
+} // namespace fideslib

@@ -1,0 +1,187 @@
+#include "core/primes.hpp"
+
+#include <algorithm>
+
+#include "core/logging.hpp"
+
+namespace fideslib
+{
+
+namespace
+{
+
+/**
+ * Primality helpers work on arbitrary 64-bit candidates, which can
+ * exceed the Modulus width limit, so they use raw u128 arithmetic.
+ */
+u64
+powModU128(u64 base, u64 exp, u64 n)
+{
+    u64 result = 1;
+    u64 b = base % n;
+    while (exp) {
+        if (exp & 1)
+            result = mulModNaive(result, b, n);
+        b = mulModNaive(b, b, n);
+        exp >>= 1;
+    }
+    return result;
+}
+
+/** One Miller-Rabin round for witness a; n - 1 = d * 2^r, d odd. */
+bool
+millerRabinWitness(u64 n, u64 d, u32 r, u64 a)
+{
+    a %= n;
+    if (a == 0)
+        return true;
+    u64 x = powModU128(a, d, n);
+    if (x == 1 || x == n - 1)
+        return true;
+    for (u32 i = 1; i < r; ++i) {
+        x = mulModNaive(x, x, n);
+        if (x == n - 1)
+            return true;
+    }
+    return false;
+}
+
+bool
+inList(u64 v, const std::vector<u64> &list)
+{
+    return std::find(list.begin(), list.end(), v) != list.end();
+}
+
+} // namespace
+
+bool
+isPrime(u64 n)
+{
+    if (n < 2)
+        return false;
+    for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                  19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (n == p)
+            return true;
+        if (n % p == 0)
+            return false;
+    }
+    u64 d = n - 1;
+    u32 r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // This witness set is deterministic-exact for all 64-bit integers.
+    for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL,
+                  19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (!millerRabinWitness(n, d, r, a))
+            return false;
+    }
+    return true;
+}
+
+u64
+findGenerator(const Modulus &m)
+{
+    u64 p = m.value;
+    // Factor p - 1 by trial division (p - 1 has small smooth part plus
+    // at most a couple of large factors; 64-bit trial division up to
+    // cube root plus a primality fallback is sufficient here).
+    std::vector<u64> factors;
+    u64 n = p - 1;
+    for (u64 f = 2; f * f <= n; ++f) {
+        if (n % f == 0) {
+            factors.push_back(f);
+            while (n % f == 0)
+                n /= f;
+        }
+        if (f > 3 && isPrime(n)) {
+            break;
+        }
+    }
+    if (n > 1)
+        factors.push_back(n);
+
+    for (u64 g = 2; g < p; ++g) {
+        bool ok = true;
+        for (u64 f : factors) {
+            if (powMod(g, (p - 1) / f, m) == 1) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return g;
+    }
+    panic("no generator found for %llu", (unsigned long long)p);
+}
+
+u64
+findPrimitiveRoot(u64 twoN, const Modulus &m)
+{
+    FIDES_ASSERT((m.value - 1) % twoN == 0);
+    u64 g = findGenerator(m);
+    u64 root = powMod(g, (m.value - 1) / twoN, m);
+    // Sanity: root^(2n) = 1 and root^n = -1 (primitive, negacyclic).
+    FIDES_ASSERT(powMod(root, twoN, m) == 1);
+    FIDES_ASSERT(powMod(root, twoN / 2, m) == m.value - 1);
+    return root;
+}
+
+std::vector<u64>
+generatePrimes(u32 bits, u64 step, std::size_t count,
+               const std::vector<u64> &exclude)
+{
+    FIDES_ASSERT(bits <= kMaxModulusBits);
+    std::vector<u64> primes;
+    u64 center = 1ULL << bits;
+    // Candidates alternate above/below 2^bits so the product of the
+    // selected primes stays as close to 2^(bits*count) as possible.
+    u64 up = center + 1;
+    while (up % step != 1)
+        ++up;
+    u64 down = center + 1;
+    while (down % step != 1)
+        down -= 1;
+    if (down >= center)
+        down -= step;
+    bool takeUp = true;
+    while (primes.size() < count) {
+        if (takeUp) {
+            while (!isPrime(up) || inList(up, exclude) ||
+                   inList(up, primes)) {
+                up += step;
+            }
+            primes.push_back(up);
+            up += step;
+        } else {
+            while (down > step &&
+                   (!isPrime(down) || inList(down, exclude) ||
+                    inList(down, primes))) {
+                down -= step;
+            }
+            FIDES_ASSERT(down > step);
+            primes.push_back(down);
+            down -= step;
+        }
+        takeUp = !takeUp;
+    }
+    return primes;
+}
+
+u64
+generatePrimeBelow(u32 bits, u64 step, const std::vector<u64> &exclude)
+{
+    FIDES_ASSERT(bits <= kMaxModulusBits + 1);
+    u64 candidate = (1ULL << bits) - 1;
+    while (candidate % step != 1)
+        --candidate;
+    while (!isPrime(candidate) || inList(candidate, exclude)) {
+        candidate -= step;
+        FIDES_ASSERT(candidate > step);
+    }
+    return candidate;
+}
+
+} // namespace fideslib

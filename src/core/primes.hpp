@@ -1,0 +1,48 @@
+/**
+ * @file
+ * NTT-friendly prime generation for the CKKS RNS basis.
+ *
+ * CKKS needs primes q with q = 1 (mod 2N) so that a primitive 2N-th
+ * root of unity psi exists modulo q (negacyclic NTT). Scaling primes
+ * are chosen alternating just above/below 2^logDelta so that the
+ * running product of moduli tracks Delta^level closely (the standard
+ * scale-drift mitigation from the RNS-CKKS literature).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/modarith.hpp"
+
+namespace fideslib
+{
+
+/** Deterministic Miller-Rabin primality test, exact for 64-bit inputs. */
+bool isPrime(u64 n);
+
+/** Smallest generator of (Z/p)^*, p prime. */
+u64 findGenerator(const Modulus &m);
+
+/**
+ * A primitive 2n-th root of unity mod p (requires p = 1 mod 2n).
+ * Deterministic: derived from the smallest generator.
+ */
+u64 findPrimitiveRoot(u64 twoN, const Modulus &m);
+
+/**
+ * Generates @p count distinct primes p = 1 (mod step) near 2^bits,
+ * alternating above/below 2^bits, skipping any prime in @p exclude.
+ */
+std::vector<u64> generatePrimes(u32 bits, u64 step, std::size_t count,
+                                const std::vector<u64> &exclude = {});
+
+/**
+ * Generates a prime p = 1 (mod step) just below 2^bits (the first
+ * modulus q0 and the special primes use this form).
+ */
+u64 generatePrimeBelow(u32 bits, u64 step,
+                       const std::vector<u64> &exclude = {});
+
+} // namespace fideslib

@@ -1,0 +1,47 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+
+#include "core/logging.hpp"
+
+namespace fideslib
+{
+
+void
+sampleUniform(Prng &prng, u64 q, std::vector<u64> &out)
+{
+    for (auto &v : out)
+        v = prng.uniform(q);
+}
+
+void
+sampleTernary(Prng &prng, std::size_t n, i64 hammingWeight,
+              std::vector<i64> &out)
+{
+    out.assign(n, 0);
+    if (hammingWeight <= 0) {
+        for (auto &v : out)
+            v = static_cast<i64>(prng.uniform(3)) - 1;
+        return;
+    }
+    FIDES_ASSERT(static_cast<std::size_t>(hammingWeight) <= n);
+    i64 placed = 0;
+    while (placed < hammingWeight) {
+        u64 idx = prng.uniform(n);
+        if (out[idx] == 0) {
+            out[idx] = prng.uniform(2) ? 1 : -1;
+            ++placed;
+        }
+    }
+}
+
+void
+sampleGaussian(Prng &prng, std::size_t n, double sigma,
+               std::vector<i64> &out)
+{
+    out.resize(n);
+    for (auto &v : out)
+        v = static_cast<i64>(std::llround(prng.normal(sigma)));
+}
+
+} // namespace fideslib

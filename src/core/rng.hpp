@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Randomness for CKKS: uniform ring elements, ternary / sparse-ternary
+ * secrets and encryption randomness, and the discrete Gaussian error
+ * sampler.
+ *
+ * All samplers draw from an explicit Prng instance so that the
+ * reference backend and the device backend can be driven with
+ * identical randomness (the integration-test contract: bit-identical
+ * ciphertexts).
+ */
+
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace fideslib
+{
+
+/** Seedable pseudo-random generator used by every sampler. */
+class Prng
+{
+  public:
+    explicit Prng(u64 seed = 0x46494445u) : engine_(seed) {}
+
+    u64 nextU64() { return engine_(); }
+
+    /** Uniform value in [0, bound) (bound > 0). */
+    u64 uniform(u64 bound)
+    {
+        // Rejection sampling keeps the distribution exactly uniform.
+        u64 limit = ~0ULL - ~0ULL % bound;
+        u64 v;
+        do {
+            v = engine_();
+        } while (v >= limit);
+        return v % bound;
+    }
+
+    double normal(double sigma)
+    {
+        std::normal_distribution<double> dist(0.0, sigma);
+        return dist(engine_);
+    }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+/** Uniform coefficients in [0, q) for each entry. */
+void sampleUniform(Prng &prng, u64 q, std::vector<u64> &out);
+
+/**
+ * Ternary secret in {-1, 0, 1}, stored as signed small ints.
+ * If hammingWeight > 0, exactly that many coefficients are nonzero
+ * (the sparse secret used for bootstrapping-friendly parameters).
+ */
+void sampleTernary(Prng &prng, std::size_t n, i64 hammingWeight,
+                   std::vector<i64> &out);
+
+/** Centered discrete Gaussian, sigma = 3.19 by convention. */
+void sampleGaussian(Prng &prng, std::size_t n, double sigma,
+                    std::vector<i64> &out);
+
+} // namespace fideslib

@@ -1,0 +1,432 @@
+#include "ref/refeval.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+
+#include "ckks/encoder.hpp"
+#include "core/logging.hpp"
+#include "ref/refntt.hpp"
+
+namespace fideslib::ref
+{
+
+namespace
+{
+
+/** Signed residues of round(c * scale) per limb of @p shape. */
+std::vector<u64>
+scalarResidues(const Context &ctx, const RNSPoly &shape, long double c,
+               long double scale)
+{
+    ckks::Encoder enc(ctx);
+    auto qRes = enc.scalarResidues(c, scale, shape.level(),
+                                   shape.numSpecial());
+    return qRes;
+}
+
+void
+forEachLimb(RNSPoly &a,
+            const std::function<void(std::size_t, const Modulus &,
+                                     u64 *)> &fn)
+{
+    const Context &ctx = a.context();
+    for (std::size_t i = 0; i < a.numLimbs(); ++i)
+        fn(i, ctx.prime(a.primeIdxAt(i)).mod, a.limb(i).data());
+}
+
+} // namespace
+
+void
+toEval(RNSPoly &a)
+{
+    FIDES_ASSERT(a.format() == Format::Coeff);
+    const Context &ctx = a.context();
+    const std::size_t n = ctx.degree();
+    forEachLimb(a, [&](std::size_t i, const Modulus &m, u64 *x) {
+        std::vector<u64> tmp(x, x + n);
+        refNttForward(tmp, m, ctx.prime(a.primeIdxAt(i)).ntt->psi());
+        std::memcpy(x, tmp.data(), n * sizeof(u64));
+    });
+    a.setFormat(Format::Eval);
+}
+
+void
+toCoeff(RNSPoly &a)
+{
+    FIDES_ASSERT(a.format() == Format::Eval);
+    const Context &ctx = a.context();
+    const std::size_t n = ctx.degree();
+    forEachLimb(a, [&](std::size_t i, const Modulus &m, u64 *x) {
+        std::vector<u64> tmp(x, x + n);
+        refNttInverse(tmp, m, ctx.prime(a.primeIdxAt(i)).ntt->psi());
+        std::memcpy(x, tmp.data(), n * sizeof(u64));
+    });
+    a.setFormat(Format::Coeff);
+}
+
+namespace
+{
+
+RNSPoly
+polyBinop(const RNSPoly &a, const RNSPoly &b,
+          u64 (*op)(u64, u64, u64))
+{
+    const Context &ctx = a.context();
+    const std::size_t n = ctx.degree();
+    RNSPoly out(ctx, a.level(), a.format(), a.numSpecial());
+    for (std::size_t i = 0; i < out.numLimbs(); ++i) {
+        const u64 p = ctx.prime(out.primeIdxAt(i)).value();
+        const u64 *x = a.limb(i).data();
+        const u64 *y = b.limb(i).data();
+        u64 *o = out.limb(i).data();
+        for (std::size_t j = 0; j < n; ++j)
+            o[j] = op(x[j], y[j], p);
+    }
+    return out;
+}
+
+u64
+opAdd(u64 a, u64 b, u64 p)
+{
+    return addMod(a, b, p);
+}
+
+u64
+opMul(u64 a, u64 b, u64 p)
+{
+    return mulModNaive(a, b, p);
+}
+
+} // namespace
+
+Ciphertext
+add(const Ciphertext &a, const Ciphertext &b)
+{
+    FIDES_ASSERT(a.level() == b.level());
+    return Ciphertext{polyBinop(a.c0, b.c0, opAdd),
+                      polyBinop(a.c1, b.c1, opAdd), a.scale, a.slots,
+                      a.noiseBits};
+}
+
+Ciphertext
+addPlain(const Ciphertext &a, const Plaintext &p)
+{
+    Ciphertext r = a.clone();
+    r.c0 = polyBinop(a.c0, p.poly, opAdd);
+    return r;
+}
+
+Ciphertext
+addScalar(const Context &ctx, const Ciphertext &a, double c)
+{
+    auto res = scalarResidues(ctx, a.c0, c, a.scale);
+    Ciphertext r = a.clone();
+    const std::size_t n = ctx.degree();
+    forEachLimb(r.c0, [&](std::size_t i, const Modulus &m, u64 *x) {
+        for (std::size_t j = 0; j < n; ++j)
+            x[j] = addMod(x[j], res[i], m.value);
+    });
+    return r;
+}
+
+Ciphertext
+multiplyPlain(const Ciphertext &a, const Plaintext &p)
+{
+    Ciphertext r{polyBinop(a.c0, p.poly, opMul),
+                 polyBinop(a.c1, p.poly, opMul), a.scale * p.scale,
+                 a.slots, a.noiseBits};
+    return r;
+}
+
+Ciphertext
+multiplyScalar(const Context &ctx, const Ciphertext &a, double c)
+{
+    auto res = scalarResidues(ctx, a.c0, c, ctx.defaultScale());
+    Ciphertext r = a.clone();
+    const std::size_t n = ctx.degree();
+    for (RNSPoly *poly : {&r.c0, &r.c1}) {
+        forEachLimb(*poly,
+                    [&](std::size_t i, const Modulus &m, u64 *x) {
+            for (std::size_t j = 0; j < n; ++j)
+                x[j] = mulModNaive(x[j], res[i], m.value);
+        });
+    }
+    r.scale = a.scale * ctx.defaultScale();
+    return r;
+}
+
+namespace
+{
+
+/** Naive fast base conversion (Eq. 1), per coefficient. */
+void
+refConvert(const Context &ctx, const std::vector<const u64 *> &src,
+           const ckks::ConvTables &t, const std::vector<u64 *> &dst)
+{
+    const std::size_t n = ctx.degree();
+    const std::size_t ns = src.size();
+    const std::size_t nt = dst.size();
+    std::vector<u64> scaled(ns);
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < ns; ++i) {
+            const u64 p = ctx.prime(t.sourceIdx[i]).value();
+            scaled[i] = mulModNaive(src[i][j], t.sHatInv[i], p);
+        }
+        for (std::size_t d = 0; d < nt; ++d) {
+            const Modulus &m = ctx.prime(t.targetIdx[d]).mod;
+            u128 acc = 0;
+            for (std::size_t i = 0; i < ns; ++i)
+                acc += static_cast<u128>(scaled[i])
+                     * t.sHatModT[i * nt + d];
+            dst[d][j] = static_cast<u64>(acc % m.value);
+        }
+    }
+}
+
+RNSPoly
+refModUpDigit(const RNSPoly &coeffPoly, u32 digit)
+{
+    const Context &ctx = coeffPoly.context();
+    const u32 level = coeffPoly.level();
+    const auto &t = ctx.modUpTables(level, digit);
+    const std::size_t n = ctx.degree();
+
+    RNSPoly out(ctx, level, Format::Coeff, ctx.numSpecial());
+    std::vector<const u64 *> src;
+    for (u32 gi : t.sourceIdx) {
+        src.push_back(coeffPoly.limb(gi).data());
+        std::memcpy(out.limb(gi).data(), coeffPoly.limb(gi).data(),
+                    n * sizeof(u64));
+    }
+    std::vector<u64 *> dst;
+    for (u32 gi : t.targetIdx) {
+        std::size_t pos = gi <= level
+                              ? gi
+                              : level + 1 + (gi - (ctx.maxLevel() + 1));
+        dst.push_back(out.limb(pos).data());
+    }
+    refConvert(ctx, src, t, dst);
+    toEval(out);
+    return out;
+}
+
+void
+refModDown(RNSPoly &a)
+{
+    const Context &ctx = a.context();
+    const u32 level = a.level();
+    const u32 K = ctx.numSpecial();
+    const std::size_t n = ctx.degree();
+    const auto &t = ctx.modDownTables(level);
+
+    for (u32 k = 0; k < K; ++k) {
+        std::vector<u64> tmp(a.limb(level + 1 + k).data(),
+                             a.limb(level + 1 + k).data() + n);
+        refNttInverse(tmp, ctx.pMod(k),
+                      ctx.prime(ctx.specialIdx(k)).ntt->psi());
+        std::memcpy(a.limb(level + 1 + k).data(), tmp.data(),
+                    n * sizeof(u64));
+    }
+
+    std::vector<const u64 *> src;
+    for (u32 k = 0; k < K; ++k)
+        src.push_back(a.limb(level + 1 + k).data());
+    std::vector<std::vector<u64>> conv(level + 1, std::vector<u64>(n));
+    std::vector<u64 *> dst;
+    for (u32 i = 0; i <= level; ++i)
+        dst.push_back(conv[i].data());
+    refConvert(ctx, src, t, dst);
+
+    for (u32 i = 0; i <= level; ++i) {
+        const Modulus &m = ctx.qMod(i);
+        refNttForward(conv[i], m, ctx.prime(i).ntt->psi());
+        u64 *x = a.limb(i).data();
+        for (std::size_t j = 0; j < n; ++j) {
+            x[j] = mulModNaive(subMod(x[j], conv[i][j], m.value),
+                               ctx.pInvModQ(i), m.value);
+        }
+    }
+    a.dropSpecialLimbs();
+}
+
+} // namespace
+
+std::pair<RNSPoly, RNSPoly>
+keySwitch(const RNSPoly &dEval, const EvalKey &key)
+{
+    const Context &ctx = dEval.context();
+    const u32 level = dEval.level();
+    const u32 L = ctx.maxLevel();
+    const std::size_t n = ctx.degree();
+
+    RNSPoly coeff = dEval.clone();
+    toCoeff(coeff);
+
+    RNSPoly acc0(ctx, level, Format::Eval, ctx.numSpecial());
+    RNSPoly acc1(ctx, level, Format::Eval, ctx.numSpecial());
+    acc0.setZero();
+    acc1.setZero();
+    for (u32 j = 0; j < ctx.numDigits(level); ++j) {
+        RNSPoly raised = refModUpDigit(coeff, j);
+        for (std::size_t i = 0; i < acc0.numLimbs(); ++i) {
+            const u32 gi = acc0.primeIdxAt(i);
+            const Modulus &m = ctx.prime(gi).mod;
+            const std::size_t keyPos =
+                gi <= L ? gi : L + 1 + (gi - (L + 1));
+            const u64 *kb = key.b[j].limb(keyPos).data();
+            const u64 *ka = key.a[j].limb(keyPos).data();
+            const u64 *s = raised.limb(i).data();
+            u64 *x0 = acc0.limb(i).data();
+            u64 *x1 = acc1.limb(i).data();
+            for (std::size_t jj = 0; jj < n; ++jj) {
+                x0[jj] = addMod(x0[jj],
+                                mulModNaive(s[jj], kb[jj], m.value),
+                                m.value);
+                x1[jj] = addMod(x1[jj],
+                                mulModNaive(s[jj], ka[jj], m.value),
+                                m.value);
+            }
+        }
+    }
+    refModDown(acc0);
+    refModDown(acc1);
+    return {std::move(acc0), std::move(acc1)};
+}
+
+Ciphertext
+multiply(const Ciphertext &a, const Ciphertext &b, const EvalKey &relin)
+{
+    FIDES_ASSERT(a.level() == b.level());
+    RNSPoly d0 = polyBinop(a.c0, b.c0, opMul);
+    RNSPoly d1 = polyBinop(a.c0, b.c1, opMul);
+    RNSPoly d1b = polyBinop(a.c1, b.c0, opMul);
+    d1 = polyBinop(d1, d1b, opAdd);
+    RNSPoly d2 = polyBinop(a.c1, b.c1, opMul);
+
+    auto [u0, u1] = keySwitch(d2, relin);
+    d0 = polyBinop(d0, u0, opAdd);
+    d1 = polyBinop(d1, u1, opAdd);
+    return Ciphertext{std::move(d0), std::move(d1), a.scale * b.scale,
+                      a.slots, a.noiseBits + b.noiseBits + 1.0};
+}
+
+Ciphertext
+rescale(const Ciphertext &a)
+{
+    const Context &ctx = a.c0.context();
+    const std::size_t n = ctx.degree();
+    const u32 l = a.level();
+    FIDES_ASSERT(l > 0);
+    const u64 ql = ctx.qMod(l).value;
+
+    Ciphertext r = a.clone();
+    for (RNSPoly *poly : {&r.c0, &r.c1}) {
+        std::vector<u64> last(poly->limb(l).data(),
+                              poly->limb(l).data() + n);
+        refNttInverse(last, ctx.qMod(l), ctx.prime(l).ntt->psi());
+        for (u32 i = 0; i < l; ++i) {
+            const Modulus &m = ctx.qMod(i);
+            std::vector<u64> tmp(n);
+            const u64 half = ql >> 1;
+            for (std::size_t j = 0; j < n; ++j) {
+                // Centered SwitchModulus.
+                u64 v = last[j];
+                u64 r0 = v % m.value;
+                if (v > half)
+                    r0 = subMod(r0, ql % m.value, m.value);
+                tmp[j] = r0;
+            }
+            refNttForward(tmp, m, ctx.prime(i).ntt->psi());
+            u64 *x = poly->limb(i).data();
+            const u64 inv = ctx.qlInvModQ(l, i);
+            for (std::size_t j = 0; j < n; ++j) {
+                x[j] = mulModNaive(subMod(x[j], tmp[j], m.value), inv,
+                                   m.value);
+            }
+        }
+        poly->dropLimb();
+    }
+    r.scale = a.scale / static_cast<long double>(ql);
+    return r;
+}
+
+namespace
+{
+
+Ciphertext
+applyGalois(const Ciphertext &a, u64 galois, const EvalKey &key)
+{
+    // Same operation order as the optimized backend (permute the
+    // raised digits, inner-product, ModDown, then permute c0): the
+    // automorphism commutes with decomposition, and matching the
+    // order keeps the two backends bit-identical.
+    const Context &ctx = a.c0.context();
+    const auto &perm = ctx.automorphPerm(galois);
+    const std::size_t n = ctx.degree();
+    const u32 level = a.level();
+    const u32 L = ctx.maxLevel();
+
+    RNSPoly coeff = a.c1.clone();
+    toCoeff(coeff);
+
+    RNSPoly acc0(ctx, level, Format::Eval, ctx.numSpecial());
+    RNSPoly acc1(ctx, level, Format::Eval, ctx.numSpecial());
+    acc0.setZero();
+    acc1.setZero();
+    for (u32 j = 0; j < ctx.numDigits(level); ++j) {
+        RNSPoly raised = refModUpDigit(coeff, j);
+        for (std::size_t i = 0; i < acc0.numLimbs(); ++i) {
+            const u32 gi = acc0.primeIdxAt(i);
+            const Modulus &m = ctx.prime(gi).mod;
+            const std::size_t keyPos =
+                gi <= L ? gi : L + 1 + (gi - (L + 1));
+            const u64 *kb = key.b[j].limb(keyPos).data();
+            const u64 *ka = key.a[j].limb(keyPos).data();
+            const u64 *s = raised.limb(i).data();
+            u64 *x0 = acc0.limb(i).data();
+            u64 *x1 = acc1.limb(i).data();
+            for (std::size_t jj = 0; jj < n; ++jj) {
+                u64 sp = s[perm[jj]];
+                x0[jj] = addMod(x0[jj],
+                                mulModNaive(sp, kb[jj], m.value),
+                                m.value);
+                x1[jj] = addMod(x1[jj],
+                                mulModNaive(sp, ka[jj], m.value),
+                                m.value);
+            }
+        }
+    }
+    refModDown(acc0);
+    refModDown(acc1);
+
+    RNSPoly c0(ctx, level, Format::Eval);
+    for (std::size_t i = 0; i <= level; ++i) {
+        const Modulus &m = ctx.qMod(i);
+        const u64 *s0 = a.c0.limb(i).data();
+        const u64 *u0 = acc0.limb(i).data();
+        u64 *d0 = c0.limb(i).data();
+        for (std::size_t j = 0; j < n; ++j)
+            d0[j] = addMod(s0[perm[j]], u0[j], m.value);
+    }
+    return Ciphertext{std::move(c0), std::move(acc1), a.scale, a.slots,
+                      a.noiseBits + 0.5};
+}
+
+} // namespace
+
+Ciphertext
+rotate(const Ciphertext &a, i64 k, const EvalKey &key)
+{
+    const Context &ctx = a.c0.context();
+    return applyGalois(a, ctx.rotationGaloisElt(k), key);
+}
+
+Ciphertext
+conjugate(const Ciphertext &a, const EvalKey &key)
+{
+    const Context &ctx = a.c0.context();
+    return applyGalois(a, ctx.conjugateGaloisElt(), key);
+}
+
+} // namespace fideslib::ref

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reference (naive) server-side evaluator: the OpenFHE stand-in.
+ *
+ * Every operation is implemented with straightforward per-coefficient
+ * loops, `%`-based modular arithmetic, fresh allocations, no kernel
+ * fusion, no limb batching and no device accounting. It plays two
+ * roles from the paper's evaluation:
+ *   - the integration-test oracle: results must be bit-identical to
+ *     the optimized backend (both compute exact modular functions);
+ *   - the CPU baseline column of every benchmark table.
+ *
+ * Operations reuse the Context's precomputed constants (primes, NTT
+ * roots, CRT factors), which are validated independently.
+ */
+
+#pragma once
+
+#include "ckks/ciphertext.hpp"
+#include "ckks/keys.hpp"
+
+namespace fideslib::ref
+{
+
+using ckks::Ciphertext;
+using ckks::Context;
+using ckks::EvalKey;
+using ckks::Format;
+using ckks::Plaintext;
+using ckks::RNSPoly;
+
+/** Naive forward/inverse NTT over every limb. */
+void toEval(RNSPoly &a);
+void toCoeff(RNSPoly &a);
+
+/** HAdd. */
+Ciphertext add(const Ciphertext &a, const Ciphertext &b);
+/** PtAdd. */
+Ciphertext addPlain(const Ciphertext &a, const Plaintext &p);
+/** ScalarAdd (naive path: encodes then adds limb-wise). */
+Ciphertext addScalar(const Context &ctx, const Ciphertext &a, double c);
+/** PtMult. */
+Ciphertext multiplyPlain(const Ciphertext &a, const Plaintext &p);
+/** ScalarMult. */
+Ciphertext multiplyScalar(const Context &ctx, const Ciphertext &a,
+                          double c);
+/** HMult with relinearization. */
+Ciphertext multiply(const Ciphertext &a, const Ciphertext &b,
+                    const EvalKey &relin);
+/** Rescale. */
+Ciphertext rescale(const Ciphertext &a);
+/** HRotate. */
+Ciphertext rotate(const Ciphertext &a, i64 k, const EvalKey &key);
+/** HConjugate. */
+Ciphertext conjugate(const Ciphertext &a, const EvalKey &key);
+
+/** Naive hybrid key switch of one polynomial. */
+std::pair<RNSPoly, RNSPoly> keySwitch(const RNSPoly &dEval,
+                                      const EvalKey &key);
+
+} // namespace fideslib::ref

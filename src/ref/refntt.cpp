@@ -1,0 +1,105 @@
+#include "ref/refntt.hpp"
+
+#include "core/logging.hpp"
+
+namespace fideslib::ref
+{
+
+namespace
+{
+
+u64
+naivePow(u64 b, u64 e, u64 p)
+{
+    u64 r = 1;
+    b %= p;
+    while (e) {
+        if (e & 1)
+            r = mulModNaive(r, b, p);
+        b = mulModNaive(b, b, p);
+        e >>= 1;
+    }
+    return r;
+}
+
+/**
+ * In-place iterative cyclic FFT over Z_p, decimation in time with an
+ * explicit input bit-reversal. @p w is a primitive n-th root. The
+ * output is in natural order: X[k] = sum_j a_j w^(jk).
+ */
+void
+cyclicFft(std::vector<u64> &a, const Modulus &m, u64 w)
+{
+    const std::size_t n = a.size();
+    const u32 logN = log2Floor(n);
+    const u64 p = m.value;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t j = bitReverse(i, logN);
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        u64 wl = naivePow(w, n / len, p);
+        for (std::size_t i = 0; i < n; i += len) {
+            u64 tw = 1;
+            for (std::size_t j = 0; j < len / 2; ++j) {
+                u64 u = a[i + j];
+                u64 v = mulModNaive(a[i + j + len / 2], tw, p);
+                a[i + j] = addMod(u, v, p);
+                a[i + j + len / 2] = subMod(u, v, p);
+                tw = mulModNaive(tw, wl, p);
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+refNttForward(std::vector<u64> &a, const Modulus &m, u64 psi)
+{
+    const std::size_t n = a.size();
+    const u32 logN = log2Floor(n);
+    const u64 p = m.value;
+
+    // Twist by psi^j to turn the negacyclic transform cyclic.
+    u64 tw = 1;
+    for (std::size_t j = 0; j < n; ++j) {
+        a[j] = mulModNaive(a[j], tw, p);
+        tw = mulModNaive(tw, psi, p);
+    }
+    // Cyclic FFT with w = psi^2; output X[k] = A(psi^(2k+1)).
+    cyclicFft(a, m, mulModNaive(psi, psi, p));
+    // Reorder natural k to the library's bit-reversed convention:
+    // out[i] holds the evaluation at psi^(2*rev(i)+1) = X[rev(i)].
+    std::vector<u64> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = a[bitReverse(i, logN)];
+    a.swap(out);
+}
+
+void
+refNttInverse(std::vector<u64> &a, const Modulus &m, u64 psi)
+{
+    const std::size_t n = a.size();
+    const u32 logN = log2Floor(n);
+    const u64 p = m.value;
+
+    // Undo the output reordering: X[k] = a[rev(k)].
+    std::vector<u64> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[bitReverse(i, logN)] = a[i];
+
+    // Inverse cyclic FFT: run the forward FFT with w^{-1}, scale 1/n.
+    u64 psiInv = naivePow(psi, 2 * n - 1, p); // psi^{-1}: psi^(2n)=1
+    u64 wInv = mulModNaive(psiInv, psiInv, p);
+    cyclicFft(x, m, wInv);
+    u64 nInv = naivePow(n, p - 2, p);
+    u64 tw = 1;
+    for (std::size_t j = 0; j < n; ++j) {
+        a[j] = mulModNaive(mulModNaive(x[j], nInv, p), tw, p);
+        tw = mulModNaive(tw, psiInv, p);
+    }
+}
+
+} // namespace fideslib::ref

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Independent reference NTT used as the integration-test oracle and
+ * the CPU-baseline backend (the OpenFHE role in the paper's
+ * evaluation).
+ *
+ * Deliberately different implementation strategy from core/ntt.cpp:
+ * an explicit bit-reversal pass plus an iterative cyclic FFT over a
+ * psi-scaled ("twisted") coefficient vector, with naive `%` modular
+ * arithmetic throughout. Same mathematical function, independently
+ * derived -- agreement between the two is a strong correctness
+ * signal.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/modarith.hpp"
+
+namespace fideslib::ref
+{
+
+/** Reference forward negacyclic NTT (natural in, bit-reversed out). */
+void refNttForward(std::vector<u64> &a, const Modulus &m, u64 psi);
+
+/** Reference inverse negacyclic NTT (bit-reversed in, natural out). */
+void refNttInverse(std::vector<u64> &a, const Modulus &m, u64 psi);
+
+} // namespace fideslib::ref

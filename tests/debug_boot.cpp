@@ -1,0 +1,333 @@
+// Diagnostic harness: decrypts each bootstrap stage and compares with
+// the plaintext-side expectation. Not a unit test; a debugging tool.
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "ckks/basechange.hpp"
+#include "ckks/bootstrap.hpp"
+#include "ckks/chebyshev.hpp"
+#include "ckks/encryptor.hpp"
+#include "ckks/kernels.hpp"
+#include "ckks/keygen.hpp"
+#include "ckks/lintrans.hpp"
+
+using namespace fideslib;
+using namespace fideslib::ckks;
+
+int
+main()
+{
+    Parameters p = Parameters::testBoot();
+    Context ctx(p);
+    KeyGen keygen(ctx);
+    auto keys = keygen.makeBundle({}, true);
+    Evaluator eval(ctx, keys);
+    Encoder enc(ctx);
+    Encryptor encr(ctx, keys.pk);
+
+    const u32 slots = ctx.degree() / 4; // gap 2
+    const u32 gap = ctx.degree() / 2 / slots;
+    std::vector<std::complex<double>> z(slots);
+    for (u32 i = 0; i < slots; ++i)
+        z[i] = {0.4 * std::cos(0.9 * i), 0.4 * std::sin(1.7 * i)};
+
+    auto ct = encr.encrypt(enc.encode(z, slots, 0));
+
+    BootstrapConfig cfg;
+    cfg.slots = slots;
+    cfg.levelBudgetC2S = 2;
+    cfg.levelBudgetS2C = 2;
+    Bootstrapper boot(eval, cfg);
+    keygen.addRotationKeys(keys, boot.requiredRotations());
+
+    std::printf("keff=%.1f cheb_degree=%u r=%u depth=%u L=%u\n",
+                boot.keff(), boot.chebyshevDegree(),
+                boot.numDoubleAngles(), boot.depth(), ctx.maxLevel());
+
+    // ---- manual pipeline ----
+    const long double delta = ctx.defaultScale();
+    Ciphertext in = ct.clone();
+    in.scale = delta;
+
+    // Decrypt helper defined below needs eval format; capture the
+    // level-0 message coefficients first.
+    RNSPoly inCopy = in.c1.clone();
+    kernels::mulInto(inCopy, keygen.secretKey().s);
+    kernels::addInto(inCopy, in.c0);
+    kernels::toCoeff(inCopy);
+    std::vector<long double> tin(ctx.degree());
+    {
+        const auto &crt = ctx.reconstructor(0);
+        std::vector<u64> res(1);
+        for (std::size_t j = 0; j < ctx.degree(); ++j) {
+            res[0] = inCopy.limb(0).data()[j];
+            tin[j] = crt.reconstruct(res);
+        }
+    }
+
+    kernels::toCoeff(in.c0);
+    kernels::toCoeff(in.c1);
+    RNSPoly r0 = modRaise(in.c0, ctx.maxLevel());
+    RNSPoly r1 = modRaise(in.c1, ctx.maxLevel());
+    kernels::toEval(r0);
+    kernels::toEval(r1);
+    Ciphertext raised{std::move(r0), std::move(r1), delta, slots, 0.0};
+
+    // Decrypt raised -> coefficients t (exact, big).
+    auto decPoly = [&](const Ciphertext &c) {
+        Plaintext pt = encr.decrypt(c, keygen.secretKey());
+        RNSPoly poly = pt.poly.clone();
+        kernels::toCoeff(poly);
+        const auto &crt = ctx.reconstructor(poly.level());
+        std::vector<long double> t(ctx.degree());
+        std::vector<u64> res(poly.level() + 1);
+        for (std::size_t j = 0; j < ctx.degree(); ++j) {
+            for (u32 i = 0; i <= poly.level(); ++i)
+                res[i] = poly.limb(i).data()[j];
+            t[j] = crt.reconstruct(res);
+        }
+        return t;
+    };
+
+    auto t = decPoly(raised);
+    const long double q0 = ctx.qMod(0).value;
+    long double maxI = 0, maxM = 0;
+    for (auto v : t) {
+        long double i = std::floor((v / q0) + 0.5L);
+        maxI = std::max(maxI, std::fabs(i));
+        maxM = std::max(maxM, std::fabs(v - i * q0));
+    }
+    std::printf("raised: max|I| = %.1Lf  max|m| = 2^%.1f (delta=2^%d)\n",
+                maxI, (double)std::log2((double)maxM), (int)p.logDelta);
+
+    // SubSum.
+    for (u32 i = 0; (1u << i) < gap; ++i) {
+        Ciphertext rot = eval.rotate(raised, (i64)slots << i);
+        eval.addInPlace(raised, rot);
+    }
+    auto t2 = decPoly(raised);
+    long double maxT = 0, maxOff = 0;
+    for (std::size_t j = 0; j < t2.size(); ++j) {
+        maxT = std::max(maxT, std::fabs(t2[j]));
+        if (j % gap != 0)
+            maxOff = std::max(maxOff, std::fabs(t2[j]));
+    }
+    std::printf("subsum: max|t'|/q0 = %.2Lf (keff=%.1f), offsupport "
+                "max = 2^%.1f\n",
+                maxT / q0, boot.keff(),
+                (double)std::log2((double)std::max(maxOff, 1.0L)));
+    // check t' ≡ g*m mod q0 at support positions
+    {
+        long double worst = 0;
+        for (u32 k = 0; k < slots; ++k) {
+            for (u32 half = 0; half < 2; ++half) {
+                std::size_t pos = half * ctx.degree() / 2 + k * gap;
+                long double tv = t2[pos];
+                long double iPart = std::floor(tv / q0 + 0.5L);
+                long double frac = tv - iPart * q0;
+                long double want = (long double)gap * tin[pos];
+                // frac should equal g*m mod q0 (centered)
+                long double dd = frac - want;
+                dd -= q0 * std::floor(dd / q0 + 0.5L);
+                worst = std::max(worst, std::fabs(dd));
+            }
+        }
+        std::printf("subsum: max |t' mod q0 - g*m| = 2^%.1f\n",
+                    (double)std::log2((double)std::max(worst, 1.0L)));
+    }
+
+    // C2S stages (replicating bootstrap's encodedStage path).
+    auto c2sStages = buildC2SStages(slots, cfg.levelBudgetC2S);
+    double keff = boot.keff();
+    c2sStages.front().scale(
+        Cplx(delta / (2.0L * (long double)keff * q0), 0));
+    Ciphertext encCt = raised.clone();
+    for (auto &st : c2sStages) {
+        auto e = encodeDiagMatrix(eval, st, slots, encCt.level());
+        encCt = applyEncoded(eval, encCt, e);
+    }
+
+    // Expected slot values: y = t'_packed / (2 keff q0).
+    {
+        Plaintext pt = encr.decrypt(encCt, keygen.secretKey());
+        auto got = enc.decode(pt);
+        long double worst = 0;
+        for (u32 k = 0; k < slots; ++k) {
+            // slots are in bit-reversed order after C2S
+            u32 kr = (u32)bitReverse(k, log2Floor(slots));
+            Cplx want(t2[k * gap], t2[ctx.degree() / 2 + k * gap]);
+            want /= Cplx(2.0L * (long double)keff * q0, 0);
+            Cplx g(got[kr].real(), got[kr].imag());
+            worst = std::max(worst, (long double)std::abs(g - want));
+        }
+        std::printf("c2s: max slot err vs expected = %.3Le\n", worst);
+        // also print first few
+        for (u32 k = 0; k < 4; ++k) {
+            u32 kr = (u32)bitReverse(k, log2Floor(slots));
+            Cplx want(t2[k * gap], t2[ctx.degree() / 2 + k * gap]);
+            want /= Cplx(2.0L * (long double)keff * q0, 0);
+            std::printf("  k=%u want=(%.4Lf,%.4Lf) got=(%.4f,%.4f)\n",
+                        k, want.real(), want.imag(), got[kr].real(),
+                        got[kr].imag());
+        }
+    }
+
+    // Split real/imag.
+    const std::size_t n = ctx.degree();
+    Ciphertext conj = eval.conjugate(encCt);
+    Ciphertext yRe = eval.add(encCt, conj);
+    Ciphertext yIm = eval.sub(encCt, conj);
+    eval.multiplyByMonomialInPlace(yIm, 3 * n / 2);
+    {
+        Plaintext pr = encr.decrypt(yRe, keygen.secretKey());
+        auto gre = enc.decode(pr);
+        Plaintext pi = encr.decrypt(yIm, keygen.secretKey());
+        auto gim = enc.decode(pi);
+        long double worst = 0;
+        for (u32 k = 0; k < slots; ++k) {
+            u32 kr = (u32)bitReverse(k, log2Floor(slots));
+            long double wantRe = t2[k * gap] / ((long double)keff * q0);
+            long double wantIm =
+                t2[n / 2 + k * gap] / ((long double)keff * q0);
+            worst = std::max(worst,
+                             std::fabs((long double)gre[kr].real()
+                                       - wantRe));
+            worst = std::max(worst,
+                             std::fabs((long double)gim[kr].real()
+                                       - wantIm));
+            // imag parts of both should be ~0
+            worst = std::max(worst,
+                             std::fabs((long double)gre[kr].imag()));
+            worst = std::max(worst,
+                             std::fabs((long double)gim[kr].imag()));
+        }
+        std::printf("split: max err = %.3Le\n", worst);
+    }
+
+    // ApproxMod on both.
+    auto approxMod = [&](const Ciphertext &y) {
+        auto chebCoeffs = chebyshevInterpolate(
+            [&](double x) {
+                return std::cos((2.0 * std::numbers::pi * keff * x
+                                 - std::numbers::pi / 2.0)
+                                / (1u << boot.numDoubleAngles()));
+            },
+            boot.chebyshevDegree());
+        Ciphertext c = evalChebyshevSeries(eval, y, chebCoeffs);
+        for (u32 i = 0; i < boot.numDoubleAngles(); ++i) {
+            Ciphertext sq = eval.squareC(c);
+            c = eval.addC(sq, sq);
+            eval.addScalarInPlace(c, -1.0);
+        }
+        return c;
+    };
+    Ciphertext mRe = approxMod(yRe);
+    Ciphertext mIm = approxMod(yIm);
+    {
+        Plaintext pr = encr.decrypt(mRe, keygen.secretKey());
+        auto gre = enc.decode(pr);
+        long double worst = 0;
+        for (u32 k = 0; k < slots; ++k) {
+            u32 kr = (u32)bitReverse(k, log2Floor(slots));
+            long double arg = 2.0L * std::numbers::pi_v<long double>
+                            * t2[k * gap] / q0;
+            long double want = std::sin(arg);
+            worst = std::max(worst,
+                             std::fabs((long double)gre[kr].real()
+                                       - want));
+        }
+        std::printf("approxmod(re): max err vs sin = %.3Le (level %u)\n",
+                    worst, mRe.level());
+    }
+
+    // Recombine and S2C.
+    eval.multiplyByMonomialInPlace(mIm, n / 2);
+    Ciphertext w = eval.addC(mRe, mIm);
+
+    // Capture w's slot values for the plain-oracle comparison.
+    std::vector<Cplx> wVals(slots);
+    {
+        Plaintext pw = encr.decrypt(w, keygen.secretKey());
+        auto got = enc.decode(pw);
+        for (u32 k = 0; k < slots; ++k)
+            wVals[k] = Cplx(got[k].real(), got[k].imag());
+    }
+
+    // Pure-math check: sinp from t2, F(sinp)*c vs z, and the stage
+    // path B(R(sinp)) vs F(sinp).
+    {
+        std::vector<Cplx> sinp(slots);
+        for (u32 k = 0; k < slots; ++k) {
+            long double a =
+                2.0L * std::numbers::pi_v<long double> * t2[k * gap]
+                / q0;
+            long double b = 2.0L * std::numbers::pi_v<long double>
+                          * t2[n / 2 + k * gap] / q0;
+            sinp[k] = Cplx(std::sin(a), std::sin(b));
+        }
+        auto fs = sinp;
+        specialFFT(fs);
+        long double c = q0 / (2.0L * std::numbers::pi_v<long double>
+                              * (long double)gap * delta);
+        long double worst = 0;
+        for (u32 k = 0; k < slots; ++k) {
+            Cplx want(z[k].real(), z[k].imag());
+            worst = std::max(worst,
+                             (long double)std::abs(fs[k] * c - want));
+        }
+        std::printf("pure math F(sinp)*c vs z: %.3Le\n", worst);
+        // w values vs R(sinp)?
+        long double worstW = 0;
+        for (u32 j = 0; j < slots; ++j) {
+            Cplx want = sinp[bitReverse(j, log2Floor(slots))];
+            worstW = std::max(worstW,
+                              (long double)std::abs(wVals[j] - want));
+        }
+        std::printf("w vs R(sinp): %.3Le\n", worstW);
+    }
+
+    auto s2cStages = buildS2CStages(slots, cfg.levelBudgetS2C);
+    s2cStages.front().scale(
+        Cplx(q0 / (2.0L * std::numbers::pi_v<long double>
+                   * (long double)gap * delta),
+             0));
+    for (auto &st : s2cStages) {
+        auto e = encodeDiagMatrix(eval, st, slots, w.level());
+        w = applyEncoded(eval, w, e);
+    }
+    w.slots = slots;
+    {
+        Plaintext pw = encr.decrypt(w, keygen.secretKey());
+        auto got = enc.decode(pw);
+        long double worst = 0;
+        for (u32 k = 0; k < slots; ++k) {
+            Cplx g(got[k].real(), got[k].imag());
+            Cplx want(z[k].real(), z[k].imag());
+            worst = std::max(worst, (long double)std::abs(g - want));
+        }
+        std::printf("final: max err vs z = %.3Le (level %u)\n", worst,
+                    w.level());
+        // Plain oracle: apply the scaled s2c stages to wVals.
+        auto plain = wVals;
+        for (const auto &st : s2cStages)
+            plain = st.apply(plain);
+        long double worstOracle = 0;
+        for (u32 k = 0; k < slots; ++k) {
+            Cplx g(got[k].real(), got[k].imag());
+            worstOracle = std::max(worstOracle,
+                                   (long double)std::abs(g - plain[k]));
+        }
+        std::printf("final vs plain-s2c oracle: %.3Le\n", worstOracle);
+        for (u32 k = 0; k < 4; ++k) {
+            std::printf("  oracle k=%u = (%.4Lf,%.4Lf)\n", k,
+                        plain[k].real(), plain[k].imag());
+        }
+        for (u32 k = 0; k < 4; ++k) {
+            std::printf("  k=%u z=(%.4f,%.4f) got=(%.4f,%.4f)\n", k,
+                        z[k].real(), z[k].imag(), got[k].real(),
+                        got[k].imag());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the adapter layer and client-side serialization: host <->
+ * device round trips must be lossless, serialized streams must
+ * deserialize to identical objects, and a server operation on a
+ * ciphertext that travelled through the adapter must still decrypt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ckks/adapter.hpp"
+#include "ckks/encryptor.hpp"
+#include "ckks/evaluator.hpp"
+#include "ckks/keygen.hpp"
+#include "ckks/serial.hpp"
+
+namespace fideslib::ckks
+{
+namespace
+{
+
+class AdapterTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        ctx = new Context(Parameters::testSmall());
+        keygen = new KeyGen(*ctx);
+        keys = new KeyBundle(keygen->makeBundle({}));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete keys;
+        delete keygen;
+        delete ctx;
+        ctx = nullptr;
+    }
+
+    Ciphertext
+    sample(u32 level) const
+    {
+        Encoder enc(*ctx);
+        Encryptor encr(*ctx, keys->pk);
+        std::vector<std::complex<double>> z(16);
+        for (int i = 0; i < 16; ++i)
+            z[i] = {0.1 * i, -0.05 * i};
+        return encr.encrypt(enc.encode(z, 16, level));
+    }
+
+    static Context *ctx;
+    static KeyGen *keygen;
+    static KeyBundle *keys;
+};
+
+Context *AdapterTest::ctx = nullptr;
+KeyGen *AdapterTest::keygen = nullptr;
+KeyBundle *AdapterTest::keys = nullptr;
+
+void
+expectPolyEqual(const RNSPoly &a, const RNSPoly &b)
+{
+    ASSERT_EQ(a.numLimbs(), b.numLimbs());
+    ASSERT_EQ(a.format(), b.format());
+    const std::size_t n = a.context().degree();
+    for (std::size_t i = 0; i < a.numLimbs(); ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            ASSERT_EQ(a.limb(i).data()[j], b.limb(i).data()[j]);
+    }
+}
+
+TEST_F(AdapterTest, CiphertextHostRoundTrip)
+{
+    auto ct = sample(3);
+    auto host = adapter::toHost(*ctx, ct);
+    EXPECT_EQ(host.logN, ctx->logDegree());
+    EXPECT_EQ(host.c0.limbs.size(), 4u);
+    auto back = adapter::toDevice(*ctx, host);
+    expectPolyEqual(ct.c0, back.c0);
+    expectPolyEqual(ct.c1, back.c1);
+    EXPECT_EQ(ct.slots, back.slots);
+    EXPECT_EQ((double)ct.scale, (double)back.scale);
+}
+
+TEST_F(AdapterTest, PlaintextHostRoundTrip)
+{
+    Encoder enc(*ctx);
+    std::vector<std::complex<double>> z(8, {1.5, -0.5});
+    auto pt = enc.encode(z, 8, 2);
+    auto host = adapter::toHost(*ctx, pt);
+    auto back = adapter::toDevice(*ctx, host);
+    expectPolyEqual(pt.poly, back.poly);
+}
+
+TEST_F(AdapterTest, SerializationRoundTrip)
+{
+    auto ct = sample(2);
+    auto host = adapter::toHost(*ctx, ct);
+
+    std::stringstream ss;
+    serial::write(ss, host);
+    auto back = serial::readCiphertext(ss);
+
+    EXPECT_EQ(back.logN, host.logN);
+    EXPECT_EQ(back.slots, host.slots);
+    EXPECT_EQ(back.c0.limbs, host.c0.limbs);
+    EXPECT_EQ(back.c1.limbs, host.c1.limbs);
+    EXPECT_EQ(back.c0.eval, host.c0.eval);
+}
+
+TEST_F(AdapterTest, PlaintextSerializationRoundTrip)
+{
+    Encoder enc(*ctx);
+    std::vector<std::complex<double>> z(4, {0.25, 0.75});
+    auto pt = enc.encode(z, 4, 1);
+    auto host = adapter::toHost(*ctx, pt);
+    std::stringstream ss;
+    serial::write(ss, host);
+    auto back = serial::readPlaintext(ss);
+    EXPECT_EQ(back.poly.limbs, host.poly.limbs);
+    EXPECT_EQ(back.slots, host.slots);
+}
+
+TEST_F(AdapterTest, ServerOpAfterAdapterStillDecrypts)
+{
+    auto ct = sample(ctx->maxLevel());
+    // Ship to host, serialize, deserialize, return to device.
+    std::stringstream ss;
+    serial::write(ss, adapter::toHost(*ctx, ct));
+    auto returned =
+        adapter::toDevice(*ctx, serial::readCiphertext(ss));
+
+    Evaluator eval(*ctx, *keys);
+    auto sq = eval.square(returned);
+    eval.rescaleInPlace(sq);
+
+    Encoder enc(*ctx);
+    Encryptor encr(*ctx, keys->pk);
+    auto got = enc.decode(encr.decrypt(sq, keygen->secretKey()));
+    for (int i = 0; i < 16; ++i) {
+        std::complex<double> z{0.1 * i, -0.05 * i};
+        ASSERT_NEAR(std::abs(got[i] - z * z), 0.0, 1e-4);
+    }
+}
+
+TEST_F(AdapterTest, CorruptStreamRejected)
+{
+    std::stringstream ss;
+    ss << "not a ciphertext at all";
+    EXPECT_DEATH(
+        {
+            auto ct = serial::readCiphertext(ss);
+            (void)ct;
+        },
+        "not a FIDESlib ciphertext");
+}
+
+} // namespace
+} // namespace fideslib::ckks

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the multiprecision helper and exact CRT reconstruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bigint.hpp"
+#include "core/primes.hpp"
+#include "core/rng.hpp"
+
+namespace fideslib
+{
+namespace
+{
+
+TEST(BigInt, WordMulDivRoundTrip)
+{
+    BigInt x(1);
+    std::vector<u64> factors = {0xFFFFFFFFFULL, 12345677ULL,
+                                (1ULL << 60) - 93, 997ULL};
+    for (u64 f : factors)
+        x.mulWord(f);
+    // Divide back out in a different order, remainders must be zero.
+    EXPECT_EQ(x.divWord(997ULL), 0u);
+    EXPECT_EQ(x.divWord(0xFFFFFFFFFULL), 0u);
+    EXPECT_EQ(x.divWord((1ULL << 60) - 93), 0u);
+    EXPECT_EQ(x.divWord(12345677ULL), 0u);
+    EXPECT_EQ(x.compare(BigInt(1)), 0);
+}
+
+TEST(BigInt, AddSubCompare)
+{
+    BigInt a(~0ULL);
+    BigInt b(1);
+    a.add(b); // 2^64
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.word(0), 0u);
+    EXPECT_EQ(a.word(1), 1u);
+    a.sub(b);
+    EXPECT_EQ(a.compare(BigInt(~0ULL)), 0);
+    EXPECT_GT(BigInt(5).compare(BigInt(4)), 0);
+    EXPECT_LT(BigInt(4).compare(BigInt(5)), 0);
+}
+
+TEST(BigInt, AddMulWordMatchesSeparateOps)
+{
+    Prng prng(3);
+    for (int i = 0; i < 100; ++i) {
+        BigInt base(prng.nextU64());
+        base.mulWord(prng.nextU64() | 1);
+        BigInt other(prng.nextU64());
+        other.mulWord(prng.nextU64() | 1);
+        u64 k = prng.nextU64();
+
+        BigInt viaFused = base;
+        viaFused.addMulWord(other, k);
+
+        BigInt viaSeparate = other;
+        viaSeparate.mulWord(k);
+        viaSeparate.add(base);
+
+        EXPECT_EQ(viaFused.compare(viaSeparate), 0);
+    }
+}
+
+TEST(BigInt, ModWordMatchesDivWord)
+{
+    Prng prng(4);
+    for (int i = 0; i < 50; ++i) {
+        BigInt x(prng.nextU64());
+        x.mulWord(prng.nextU64() | 1);
+        x.mulWord(prng.nextU64() | 1);
+        u64 p = generatePrimeBelow(59, 2);
+        Modulus m(p);
+        BigInt y = x;
+        EXPECT_EQ(x.modWord(m), y.divWord(p));
+    }
+}
+
+TEST(BigInt, ShiftRight1HalvesValue)
+{
+    BigInt x(12345);
+    x.mulWord(1ULL << 40);
+    BigInt half = x;
+    half.shiftRight1();
+    half.mulWord(2);
+    EXPECT_EQ(half.compare(x), 0);
+}
+
+TEST(BigInt, ToLongDoubleAccuracy)
+{
+    BigInt x(1);
+    x.mulWord(1ULL << 62);
+    x.mulWord(1ULL << 62);
+    long double v = x.toLongDouble();
+    EXPECT_NEAR(static_cast<double>(std::log2(v)), 124.0, 1e-9);
+}
+
+TEST(CrtReconstruct, SmallModuliExact)
+{
+    std::vector<Modulus> mods = {Modulus(97), Modulus(101), Modulus(103)};
+    CrtReconstructor crt(mods);
+    // Q = 97 * 101 * 103 = 1009091; test every interesting value shape.
+    auto check = [&](i64 value) {
+        u64 q = 1009091;
+        u64 asResidue = static_cast<u64>((value % (i64)q + (i64)q) % (i64)q);
+        std::vector<u64> residues = {asResidue % 97, asResidue % 101,
+                                     asResidue % 103};
+        long double got = crt.reconstruct(residues);
+        EXPECT_EQ(static_cast<i64>(got), value) << value;
+    };
+    check(0);
+    check(1);
+    check(-1);
+    check(123456);
+    check(-123456);
+    check(504545);  // just below Q/2
+    check(-504545);
+}
+
+TEST(CrtReconstruct, RandomRoundTripAgainstDirectComputation)
+{
+    auto primes = generatePrimes(45, 1ULL << 10, 6);
+    std::vector<Modulus> mods;
+    for (u64 p : primes)
+        mods.emplace_back(p);
+    CrtReconstructor crt(mods);
+    Prng prng(11);
+    for (int i = 0; i < 200; ++i) {
+        // Construct a signed value well inside (-Q/2, Q/2).
+        i64 hi = static_cast<i64>(prng.nextU64() >> 12);
+        i64 value = (prng.nextU64() & 1) ? hi : -hi;
+        std::vector<u64> residues;
+        for (const auto &m : mods) {
+            i64 r = value % static_cast<i64>(m.value);
+            if (r < 0)
+                r += m.value;
+            residues.push_back(static_cast<u64>(r));
+        }
+        long double got = crt.reconstruct(residues);
+        EXPECT_EQ(static_cast<i64>(got), value);
+    }
+}
+
+TEST(CrtReconstruct, StridedViewMatchesContiguous)
+{
+    auto primes = generatePrimes(40, 1ULL << 10, 4);
+    std::vector<Modulus> mods;
+    for (u64 p : primes)
+        mods.emplace_back(p);
+    CrtReconstructor crt(mods);
+    std::vector<u64> residues = {5, 7, 11, 13};
+    std::vector<u64> strided(16, 0);
+    for (int i = 0; i < 4; ++i)
+        strided[i * 4] = residues[i];
+    EXPECT_EQ(crt.reconstruct(residues),
+              crt.reconstruct(strided.data(), 4, 4));
+}
+
+} // namespace
+} // namespace fideslib

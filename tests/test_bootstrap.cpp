@@ -1,0 +1,174 @@
+/**
+ * @file
+ * End-to-end bootstrapping tests: a fresh ciphertext consumed to the
+ * last level is refreshed and must still decrypt to its message, with
+ * usable levels restored; sparse packing exercises the SubSum trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckks/bootstrap.hpp"
+#include "ckks/encryptor.hpp"
+#include "ckks/keygen.hpp"
+
+namespace fideslib::ckks
+{
+namespace
+{
+
+class BootstrapTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        ctx = new Context(Parameters::testBoot());
+        keygen = new KeyGen(*ctx);
+        keys = new KeyBundle(keygen->makeBundle({}, true));
+        eval = new Evaluator(*ctx, *keys);
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete eval;
+        delete keys;
+        delete keygen;
+        delete ctx;
+        ctx = nullptr;
+    }
+
+    Bootstrapper
+    makeBootstrapper(u32 slots, u32 budgetC2S = 2,
+                     u32 budgetS2C = 2) const
+    {
+        BootstrapConfig cfg;
+        cfg.slots = slots;
+        cfg.levelBudgetC2S = budgetC2S;
+        cfg.levelBudgetS2C = budgetS2C;
+        Bootstrapper boot(*eval, cfg);
+        keygen->addRotationKeys(*keys, boot.requiredRotations());
+        return boot;
+    }
+
+    Ciphertext
+    encryptAtBottom(const std::vector<std::complex<double>> &z) const
+    {
+        Encoder enc(*ctx);
+        Encryptor encr(*ctx, keys->pk);
+        auto ct = encr.encrypt(enc.encode(z, z.size(), 0));
+        return ct;
+    }
+
+    std::vector<std::complex<double>>
+    decryptVec(const Ciphertext &ct) const
+    {
+        Encoder enc(*ctx);
+        Encryptor encr(*ctx, keys->pk);
+        return enc.decode(encr.decrypt(ct, keygen->secretKey()));
+    }
+
+    static Context *ctx;
+    static KeyGen *keygen;
+    static KeyBundle *keys;
+    static Evaluator *eval;
+};
+
+Context *BootstrapTest::ctx = nullptr;
+KeyGen *BootstrapTest::keygen = nullptr;
+KeyBundle *BootstrapTest::keys = nullptr;
+Evaluator *BootstrapTest::eval = nullptr;
+
+std::vector<std::complex<double>>
+message(std::size_t n)
+{
+    std::vector<std::complex<double>> z(n);
+    for (std::size_t i = 0; i < n; ++i)
+        z[i] = {0.4 * std::cos(0.9 * i), 0.4 * std::sin(1.7 * i)};
+    return z;
+}
+
+double
+maxError(const std::vector<std::complex<double>> &a,
+         const std::vector<std::complex<double>> &b)
+{
+    double worst = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+TEST_F(BootstrapTest, RefreshesNearFullPacking)
+{
+    const u32 slots = ctx->degree() / 4; // gap 2: one SubSum step
+    auto boot = makeBootstrapper(slots);
+    auto z = message(slots);
+    auto ct = encryptAtBottom(z);
+    ASSERT_EQ(ct.level(), 0u);
+
+    auto fresh = boot.bootstrap(ct);
+    EXPECT_GE(fresh.level(), 1u);
+    double err = maxError(decryptVec(fresh), z);
+    EXPECT_LT(err, 1e-2) << "bootstrap precision too low";
+    // Expect a reasonable precision, not just "under the sanity bar".
+    EXPECT_LT(err, 2e-3);
+}
+
+TEST_F(BootstrapTest, RefreshedCiphertextSupportsMultiplication)
+{
+    const u32 slots = ctx->degree() / 4;
+    auto boot = makeBootstrapper(slots);
+    auto z = message(slots);
+    auto ct = encryptAtBottom(z);
+    auto fresh = boot.bootstrap(ct);
+    ASSERT_GE(fresh.level(), 1u);
+
+    auto sq = eval->squareC(fresh);
+    auto got = decryptVec(sq);
+    double worst = 0;
+    for (std::size_t i = 0; i < slots; ++i)
+        worst = std::max(worst, std::abs(got[i] - z[i] * z[i]));
+    EXPECT_LT(worst, 2e-2);
+}
+
+TEST_F(BootstrapTest, SparsePackingWithDeepSubSum)
+{
+    const u32 slots = 64; // gap 32: five SubSum rotations
+    auto boot = makeBootstrapper(slots);
+    auto z = message(slots);
+    auto ct = encryptAtBottom(z);
+    auto fresh = boot.bootstrap(ct);
+    EXPECT_GE(fresh.level(), 1u);
+    double err = maxError(decryptVec(fresh), z);
+    EXPECT_LT(err, 5e-2) << "sparse bootstrap precision too low";
+}
+
+TEST_F(BootstrapTest, DepthAccountingConsistent)
+{
+    const u32 slots = ctx->degree() / 4;
+    auto boot = makeBootstrapper(slots);
+    EXPECT_LE(boot.depth(), ctx->maxLevel());
+    EXPECT_EQ(boot.outputLevel(), ctx->maxLevel() - boot.depth());
+    // Rotation requirements are nonempty and exclude 0.
+    auto rots = boot.requiredRotations();
+    EXPECT_FALSE(rots.empty());
+    for (i64 k : rots)
+        EXPECT_NE(k, 0);
+}
+
+TEST_F(BootstrapTest, InputAboveBottomLevelIsConsumed)
+{
+    const u32 slots = ctx->degree() / 4;
+    auto boot = makeBootstrapper(slots);
+    Encoder enc(*ctx);
+    Encryptor encr(*ctx, keys->pk);
+    auto z = message(slots);
+    auto ct = encr.encrypt(enc.encode(z, slots, 2));
+    auto fresh = boot.bootstrap(ct);
+    double err = maxError(decryptVec(fresh), z);
+    EXPECT_LT(err, 1e-2);
+}
+
+} // namespace
+} // namespace fideslib::ckks

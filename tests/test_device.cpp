@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the simulated device substrate: pool recycling semantics,
+ * RAII DeviceVector behaviour (managed and unmanaged), launch
+ * accounting, and the platform roofline model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/device.hpp"
+
+namespace fideslib
+{
+namespace
+{
+
+TEST(MemPool, RecyclesFreedBlocks)
+{
+    MemPool pool;
+    void *a = pool.allocate(4096);
+    pool.release(a, 4096);
+    void *b = pool.allocate(4096);
+    EXPECT_EQ(a, b); // stream-ordered pools recycle by size class
+    EXPECT_EQ(pool.poolHits(), 1u);
+    pool.release(b, 4096);
+    pool.trim();
+}
+
+TEST(MemPool, TracksUsageAndPeak)
+{
+    MemPool pool;
+    void *a = pool.allocate(1000);
+    void *b = pool.allocate(2000);
+    EXPECT_EQ(pool.bytesInUse(), 3000u);
+    EXPECT_EQ(pool.bytesPeak(), 3000u);
+    pool.release(a, 1000);
+    EXPECT_EQ(pool.bytesInUse(), 2000u);
+    EXPECT_EQ(pool.bytesPeak(), 3000u);
+    void *c = pool.allocate(500);
+    EXPECT_EQ(pool.bytesPeak(), 3000u);
+    pool.release(b, 2000);
+    pool.release(c, 500);
+    pool.trim();
+}
+
+TEST(DeviceVector, ManagedLifecycleReturnsToPool)
+{
+    auto &pool = Device::instance().pool();
+    u64 before = pool.bytesInUse();
+    {
+        DeviceVector<u64> v(256);
+        EXPECT_EQ(pool.bytesInUse(), before + 256 * sizeof(u64));
+        v[0] = 42;
+        EXPECT_EQ(v[0], 42u);
+        EXPECT_TRUE(v.managed());
+    }
+    EXPECT_EQ(pool.bytesInUse(), before);
+}
+
+TEST(DeviceVector, UnmanagedDoesNotOwn)
+{
+    std::vector<u64> backing(64, 7);
+    auto &pool = Device::instance().pool();
+    u64 before = pool.bytesInUse();
+    {
+        DeviceVector<u64> view(backing.data(), backing.size());
+        EXPECT_FALSE(view.managed());
+        EXPECT_EQ(pool.bytesInUse(), before);
+        view[3] = 9;
+    }
+    EXPECT_EQ(backing[3], 9u); // writes hit the backing store
+    EXPECT_EQ(backing[0], 7u);
+}
+
+TEST(DeviceVector, MoveTransfersOwnership)
+{
+    DeviceVector<u64> a(128);
+    a[5] = 11;
+    u64 *ptr = a.data();
+    DeviceVector<u64> b = std::move(a);
+    EXPECT_EQ(b.data(), ptr);
+    EXPECT_EQ(b[5], 11u);
+    EXPECT_EQ(a.data(), nullptr);
+    EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(DeviceVector, CloneIsDeep)
+{
+    DeviceVector<u64> a(16);
+    for (std::size_t i = 0; i < 16; ++i)
+        a[i] = i;
+    auto b = a.clone();
+    b[0] = 99;
+    EXPECT_EQ(a[0], 0u);
+    EXPECT_EQ(b[1], 1u);
+}
+
+TEST(Device, LaunchAccounting)
+{
+    auto &dev = Device::instance();
+    dev.resetCounters();
+    dev.launch(100, 50, 25);
+    dev.launch(10, 5, 2);
+    EXPECT_EQ(dev.counters().launches, 2u);
+    EXPECT_EQ(dev.counters().bytesRead, 110u);
+    EXPECT_EQ(dev.counters().bytesWritten, 55u);
+    EXPECT_EQ(dev.counters().intOps, 27u);
+    dev.resetCounters();
+    EXPECT_EQ(dev.counters().launches, 0u);
+}
+
+TEST(Device, PlatformTableMatchesPaperTableIV)
+{
+    const auto &table = platformTable();
+    ASSERT_EQ(table.size(), 5u);
+    EXPECT_EQ(table[0].name, "Ryzen-9-7900");
+    EXPECT_EQ(table[4].name, "RTX-4090");
+    // The 4090 leads on both bandwidth and INT32 throughput.
+    for (std::size_t i = 1; i + 1 < table.size(); ++i) {
+        EXPECT_LT(table[i].int32Tops, table[4].int32Tops);
+        EXPECT_LE(table[i].bandwidthGBs, table[4].bandwidthGBs);
+    }
+}
+
+TEST(Device, RooflineModelShapes)
+{
+    DeviceProfile slowLaunch{"slow", 10.0, 1000.0, 32.0, 5000.0};
+    DeviceProfile fastLaunch{"fast", 10.0, 1000.0, 32.0, 500.0};
+    // Launch-bound workload: many tiny kernels.
+    KernelCounters tiny{1000, 1000, 1000, 1000};
+    EXPECT_GT(slowLaunch.modeledTimeUs(tiny),
+              fastLaunch.modeledTimeUs(tiny));
+    // Memory-bound workload: one huge kernel; launch cost irrelevant.
+    KernelCounters big{1, 1ULL << 30, 1ULL << 30, 1};
+    EXPECT_NEAR(slowLaunch.modeledTimeUs(big),
+                fastLaunch.modeledTimeUs(big),
+                slowLaunch.modeledTimeUs(big) * 0.01);
+}
+
+TEST(Device, SpinWaitsApproximately)
+{
+    using clock = std::chrono::steady_clock;
+    auto t0 = clock::now();
+    spinNs(200000); // 200 us
+    auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  clock::now() - t0)
+                  .count();
+    EXPECT_GE(dt, 190000);
+}
+
+} // namespace
+} // namespace fideslib

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the canonical-embedding encoder: the special FFT against
+ * a direct matrix evaluation, encode/decode round trips across slot
+ * counts and levels, and the algebra encode must respect (slotwise
+ * add/mult correspond to ring add/mult).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "ckks/encoder.hpp"
+#include "ckks/kernels.hpp"
+
+namespace fideslib::ckks
+{
+namespace
+{
+
+/** Direct O(n^2) evaluation of the special transform. */
+std::vector<Cplx>
+specialDft(const std::vector<Cplx> &u)
+{
+    const std::size_t n = u.size();
+    const std::size_t M = 4 * n;
+    std::vector<Cplx> z(n, Cplx(0, 0));
+    const long double step = 2.0L * std::numbers::pi_v<long double> / M;
+    u64 g = 1;
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < n; ++k) {
+            u64 e = (g * k) % M;
+            z[j] += u[k] * Cplx(std::cos(step * e), std::sin(step * e));
+        }
+        g = (g * 5) % M;
+    }
+    return z;
+}
+
+TEST(SpecialFFT, MatchesDirectEvaluation)
+{
+    for (std::size_t n : {1u, 2u, 4u, 8u, 32u, 64u}) {
+        std::vector<Cplx> u(n);
+        for (std::size_t k = 0; k < n; ++k)
+            u[k] = Cplx(std::cos(0.7L * k) * 3, std::sin(1.3L * k));
+        auto expect = specialDft(u);
+        auto got = u;
+        specialFFT(got);
+        for (std::size_t j = 0; j < n; ++j) {
+            EXPECT_NEAR((double)got[j].real(), (double)expect[j].real(),
+                        1e-9) << "n=" << n << " j=" << j;
+            EXPECT_NEAR((double)got[j].imag(), (double)expect[j].imag(),
+                        1e-9);
+        }
+    }
+}
+
+TEST(SpecialFFT, InverseRoundTrip)
+{
+    for (std::size_t n : {2u, 16u, 256u, 4096u}) {
+        std::vector<Cplx> u(n);
+        for (std::size_t k = 0; k < n; ++k)
+            u[k] = Cplx(std::sin(0.3L * k), std::cos(2.1L * k));
+        auto v = u;
+        specialFFT(v);
+        specialIFFT(v);
+        for (std::size_t k = 0; k < n; ++k) {
+            EXPECT_NEAR((double)v[k].real(), (double)u[k].real(), 1e-10);
+            EXPECT_NEAR((double)v[k].imag(), (double)u[k].imag(), 1e-10);
+        }
+    }
+}
+
+class EncoderTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        ctx = new Context(Parameters::testSmall());
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete ctx;
+        ctx = nullptr;
+    }
+    static Context *ctx;
+};
+
+Context *EncoderTest::ctx = nullptr;
+
+std::vector<std::complex<double>>
+testVector(std::size_t n, double amp = 1.0)
+{
+    std::vector<std::complex<double>> z(n);
+    for (std::size_t i = 0; i < n; ++i)
+        z[i] = {amp * std::cos(0.9 * i), amp * std::sin(0.4 * i)};
+    return z;
+}
+
+TEST_F(EncoderTest, RoundTripFullSlots)
+{
+    Encoder enc(*ctx);
+    const u32 slots = ctx->degree() / 2;
+    auto z = testVector(slots);
+    auto pt = enc.encode(z, slots, ctx->maxLevel());
+    auto back = enc.decode(pt);
+    ASSERT_EQ(back.size(), z.size());
+    for (std::size_t i = 0; i < z.size(); ++i)
+        ASSERT_NEAR(std::abs(back[i] - z[i]), 0.0, 1e-6) << i;
+}
+
+TEST_F(EncoderTest, RoundTripSparseSlots)
+{
+    Encoder enc(*ctx);
+    for (u32 slots : {1u, 2u, 8u, 64u}) {
+        auto z = testVector(slots, 2.5);
+        auto pt = enc.encode(z, slots, ctx->maxLevel());
+        auto back = enc.decode(pt);
+        ASSERT_EQ(back.size(), slots);
+        for (std::size_t i = 0; i < slots; ++i)
+            ASSERT_NEAR(std::abs(back[i] - z[i]), 0.0, 1e-6)
+                << "slots=" << slots << " i=" << i;
+    }
+}
+
+TEST_F(EncoderTest, RoundTripAtEveryLevel)
+{
+    Encoder enc(*ctx);
+    auto z = testVector(16);
+    for (u32 level = 0; level <= ctx->maxLevel(); ++level) {
+        auto pt = enc.encode(z, 16, level);
+        auto back = enc.decode(pt);
+        for (std::size_t i = 0; i < z.size(); ++i)
+            ASSERT_NEAR(std::abs(back[i] - z[i]), 0.0, 1e-6)
+                << "level=" << level;
+    }
+}
+
+TEST_F(EncoderTest, ZeroPadsShortInput)
+{
+    Encoder enc(*ctx);
+    std::vector<std::complex<double>> z = {{1.0, 0.0}, {2.0, -1.0}};
+    auto pt = enc.encode(z, 16, 2);
+    auto back = enc.decode(pt);
+    ASSERT_EQ(back.size(), 16u);
+    EXPECT_NEAR(std::abs(back[0] - z[0]), 0.0, 1e-7);
+    EXPECT_NEAR(std::abs(back[1] - z[1]), 0.0, 1e-7);
+    for (std::size_t i = 2; i < 16; ++i)
+        EXPECT_NEAR(std::abs(back[i]), 0.0, 1e-7);
+}
+
+TEST_F(EncoderTest, PlaintextAdditionIsSlotwise)
+{
+    Encoder enc(*ctx);
+    auto za = testVector(32, 1.0);
+    auto zb = testVector(32, 0.5);
+    auto pa = enc.encode(za, 32, 3);
+    auto pb = enc.encode(zb, 32, 3);
+    kernels::addInto(pa.poly, pb.poly);
+    auto back = enc.decode(pa);
+    for (std::size_t i = 0; i < 32; ++i)
+        ASSERT_NEAR(std::abs(back[i] - (za[i] + zb[i])), 0.0, 1e-6);
+}
+
+TEST_F(EncoderTest, PlaintextMultiplicationIsSlotwise)
+{
+    Encoder enc(*ctx);
+    auto za = testVector(32, 1.0);
+    auto zb = testVector(32, 0.5);
+    auto pa = enc.encode(za, 32, 3);
+    auto pb = enc.encode(zb, 32, 3);
+    kernels::mulInto(pa.poly, pb.poly);
+    pa.scale *= pb.scale;
+    auto back = enc.decode(pa);
+    for (std::size_t i = 0; i < 32; ++i)
+        ASSERT_NEAR(std::abs(back[i] - za[i] * zb[i]), 0.0, 1e-5);
+}
+
+TEST_F(EncoderTest, ScalarResiduesEncodeRoundedValue)
+{
+    Encoder enc(*ctx);
+    auto res = enc.scalarResidues(-2.75L, 1 << 20, 2);
+    ASSERT_EQ(res.size(), 3u);
+    i64 expect = static_cast<i64>(std::llround(-2.75 * (1 << 20)));
+    for (u32 i = 0; i <= 2; ++i) {
+        u64 p = ctx->qMod(i).value;
+        u64 want = static_cast<u64>((expect % (i64)p + (i64)p) % (i64)p);
+        EXPECT_EQ(res[i], want);
+    }
+}
+
+TEST_F(EncoderTest, HighPrecisionAtLargeScale)
+{
+    // Precision improves with scale: at Delta=2^36 a unit value must
+    // survive with ~2^-25 error.
+    Encoder enc(*ctx);
+    std::vector<std::complex<double>> z = {{1.0, 0.0},
+                                           {-0.333333333333, 0.25}};
+    auto pt = enc.encode(z, 2, 1);
+    auto back = enc.decode(pt);
+    EXPECT_LT(std::abs(back[0] - z[0]), 1e-8);
+    EXPECT_LT(std::abs(back[1] - z[1]), 1e-8);
+}
+
+} // namespace
+} // namespace fideslib::ckks

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Direct tests of the device kernel layer: element-wise ops against
+ * scalar reference loops, SwitchModulus recentring in both
+ * directions, monomial multiplication wrap/sign behaviour, automorph
+ * permutation application, and launch accounting under batching.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ckks/kernels.hpp"
+#include "core/rng.hpp"
+
+namespace fideslib::ckks
+{
+namespace
+{
+
+class KernelTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        ctx = new Context(Parameters::testSmall());
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete ctx;
+        ctx = nullptr;
+    }
+
+    RNSPoly
+    randomPoly(u32 level, u64 seed, Format fmt = Format::Eval) const
+    {
+        Prng prng(seed);
+        RNSPoly p(*ctx, level, fmt);
+        for (std::size_t i = 0; i < p.numLimbs(); ++i) {
+            u64 q = ctx->prime(p.primeIdxAt(i)).value();
+            u64 *x = p.limb(i).data();
+            for (std::size_t j = 0; j < ctx->degree(); ++j)
+                x[j] = prng.uniform(q);
+        }
+        return p;
+    }
+
+    static Context *ctx;
+};
+
+Context *KernelTest::ctx = nullptr;
+
+TEST_F(KernelTest, AddSubNegAgainstScalarLoops)
+{
+    auto a = randomPoly(3, 1);
+    auto b = randomPoly(3, 2);
+    auto aRef = a.clone();
+
+    kernels::addInto(a, b);
+    for (std::size_t i = 0; i < a.numLimbs(); ++i) {
+        u64 q = ctx->prime(a.primeIdxAt(i)).value();
+        for (std::size_t j = 0; j < ctx->degree(); ++j) {
+            ASSERT_EQ(a.limb(i).data()[j],
+                      addMod(aRef.limb(i).data()[j],
+                             b.limb(i).data()[j], q));
+        }
+    }
+    kernels::subInto(a, b); // undo
+    for (std::size_t i = 0; i < a.numLimbs(); ++i) {
+        for (std::size_t j = 0; j < ctx->degree(); ++j)
+            ASSERT_EQ(a.limb(i).data()[j], aRef.limb(i).data()[j]);
+    }
+    kernels::negate(a);
+    kernels::negate(a);
+    for (std::size_t i = 0; i < a.numLimbs(); ++i) {
+        for (std::size_t j = 0; j < ctx->degree(); ++j)
+            ASSERT_EQ(a.limb(i).data()[j], aRef.limb(i).data()[j]);
+    }
+}
+
+TEST_F(KernelTest, MulAddIntoEqualsMulThenAdd)
+{
+    auto acc1 = randomPoly(2, 3);
+    auto acc2 = acc1.clone();
+    auto a = randomPoly(2, 4);
+    auto b = randomPoly(2, 5);
+
+    kernels::mulAddInto(acc1, a, b);
+
+    RNSPoly prod(*ctx, 2, Format::Eval);
+    kernels::mul(prod, a, b);
+    kernels::addInto(acc2, prod);
+
+    for (std::size_t i = 0; i < acc1.numLimbs(); ++i) {
+        for (std::size_t j = 0; j < ctx->degree(); ++j)
+            ASSERT_EQ(acc1.limb(i).data()[j], acc2.limb(i).data()[j]);
+    }
+}
+
+TEST_F(KernelTest, ScalarKernelsBroadcast)
+{
+    auto a = randomPoly(2, 6);
+    auto aRef = a.clone();
+    std::vector<u64> scalars;
+    for (u32 i = 0; i <= 2; ++i)
+        scalars.push_back(1000 + 17 * i);
+
+    kernels::scalarMulInto(a, scalars);
+    for (std::size_t i = 0; i < a.numLimbs(); ++i) {
+        const Modulus &m = ctx->qMod(i);
+        for (std::size_t j = 0; j < ctx->degree(); ++j) {
+            ASSERT_EQ(a.limb(i).data()[j],
+                      mulModNaive(aRef.limb(i).data()[j], scalars[i],
+                                  m.value));
+        }
+    }
+
+    auto b = aRef.clone();
+    kernels::scalarAddInto(b, scalars);
+    kernels::scalarSubFrom(b, scalars); // b := s - (x + s) = -x
+    kernels::negate(b);
+    for (std::size_t i = 0; i < b.numLimbs(); ++i) {
+        for (std::size_t j = 0; j < ctx->degree(); ++j)
+            ASSERT_EQ(b.limb(i).data()[j], aRef.limb(i).data()[j]);
+    }
+}
+
+TEST_F(KernelTest, SwitchModulusRecentersBothDirections)
+{
+    // Large -> small and small -> large, with signed recentring.
+    const u64 src = ctx->qMod(0).value; // ~2^50
+    const Modulus &dst = ctx->qMod(1);  // ~2^36 (smaller)
+    std::vector<u64> in(ctx->degree()), out(ctx->degree());
+    Prng prng(7);
+    for (auto &v : in) {
+        // Mix small positives and "negative" (near-src) values.
+        i64 c = static_cast<i64>(prng.uniform(2000)) - 1000;
+        v = c >= 0 ? static_cast<u64>(c) : src - static_cast<u64>(-c);
+    }
+    kernels::switchModulusLimb(*ctx, in.data(), src, out.data(), 1);
+    for (std::size_t j = 0; j < ctx->degree(); ++j) {
+        i64 c = in[j] > src / 2 ? static_cast<i64>(in[j])
+                                      - static_cast<i64>(src)
+                                : static_cast<i64>(in[j]);
+        u64 want = c >= 0 ? static_cast<u64>(c)
+                          : dst.value - static_cast<u64>(-c);
+        ASSERT_EQ(out[j], want) << j;
+    }
+    // Small -> large direction (to a special prime).
+    const u32 spIdx = ctx->specialIdx(0);
+    const Modulus &sp = ctx->prime(spIdx).mod;
+    kernels::switchModulusLimb(*ctx, in.data(), src, out.data(),
+                               spIdx);
+    for (std::size_t j = 0; j < ctx->degree(); ++j) {
+        i64 c = in[j] > src / 2 ? static_cast<i64>(in[j])
+                                      - static_cast<i64>(src)
+                                : static_cast<i64>(in[j]);
+        u64 want = c >= 0 ? static_cast<u64>(c)
+                          : sp.value - static_cast<u64>(-c);
+        ASSERT_EQ(out[j], want) << j;
+    }
+}
+
+TEST_F(KernelTest, MonomialMultWrapsNegacyclically)
+{
+    const std::size_t n = ctx->degree();
+    RNSPoly p(*ctx, 0, Format::Coeff);
+    p.setZero();
+    p.limb(0).data()[n - 1] = 5; // 5 X^(n-1)
+    kernels::mulByMonomial(p, 2); // * X^2 -> -5 X^1
+    u64 q = ctx->qMod(0).value;
+    EXPECT_EQ(p.limb(0).data()[1], q - 5);
+    for (std::size_t j = 0; j < n; ++j) {
+        if (j != 1)
+            ASSERT_EQ(p.limb(0).data()[j], 0u);
+    }
+    // Multiplying by X^(2n) is the identity.
+    auto r = randomPoly(1, 8, Format::Coeff);
+    auto ref = r.clone();
+    kernels::mulByMonomial(r, 2 * n);
+    for (std::size_t i = 0; i < r.numLimbs(); ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            ASSERT_EQ(r.limb(i).data()[j], ref.limb(i).data()[j]);
+    }
+    // X^n negates everything.
+    kernels::mulByMonomial(r, n);
+    for (std::size_t i = 0; i < r.numLimbs(); ++i) {
+        u64 qq = ctx->prime(r.primeIdxAt(i)).value();
+        for (std::size_t j = 0; j < n; ++j) {
+            ASSERT_EQ(r.limb(i).data()[j],
+                      negMod(ref.limb(i).data()[j], qq));
+        }
+    }
+}
+
+TEST_F(KernelTest, AutomorphAppliesPermutationPerLimb)
+{
+    auto a = randomPoly(2, 9);
+    const auto &perm = ctx->automorphPerm(ctx->rotationGaloisElt(3));
+    RNSPoly out(*ctx, 2, Format::Eval);
+    kernels::automorph(out, a, perm);
+    for (std::size_t i = 0; i < a.numLimbs(); ++i) {
+        for (std::size_t j = 0; j < ctx->degree(); ++j) {
+            ASSERT_EQ(out.limb(i).data()[j],
+                      a.limb(i).data()[perm[j]]);
+        }
+    }
+}
+
+TEST_F(KernelTest, LaunchCountTracksBatchSize)
+{
+    auto a = randomPoly(ctx->maxLevel(), 10);
+    auto b = randomPoly(ctx->maxLevel(), 11);
+    auto &dev = Device::instance();
+
+    ctx->setLimbBatch(1);
+    dev.resetCounters();
+    kernels::addInto(a, b);
+    u64 perLimb = dev.counters().launches;
+    EXPECT_EQ(perLimb, a.numLimbs());
+
+    ctx->setLimbBatch(0);
+    dev.resetCounters();
+    kernels::addInto(a, b);
+    EXPECT_EQ(dev.counters().launches, 1u);
+
+    ctx->setLimbBatch(2);
+    dev.resetCounters();
+    kernels::addInto(a, b);
+    EXPECT_EQ(dev.counters().launches, (a.numLimbs() + 1) / 2);
+    ctx->setLimbBatch(Parameters::testSmall().limbBatch);
+}
+
+TEST_F(KernelTest, ByteAccountingIsPlausible)
+{
+    auto a = randomPoly(2, 12);
+    auto b = randomPoly(2, 13);
+    auto &dev = Device::instance();
+    dev.resetCounters();
+    kernels::addInto(a, b);
+    const u64 limbBytes = ctx->degree() * sizeof(u64) * a.numLimbs();
+    EXPECT_EQ(dev.counters().bytesRead, 2 * limbBytes);
+    EXPECT_EQ(dev.counters().bytesWritten, limbBytes);
+}
+
+} // namespace
+} // namespace fideslib::ckks

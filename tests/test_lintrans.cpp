@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for homomorphic linear transforms: diagonal representation,
+ * sparse composition, the FFT butterfly stage factorization (the
+ * algebra CoeffToSlot/SlotToCoeff rely on), BSGS planning, and
+ * encrypted application against the plain oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckks/bootstrap.hpp"
+#include "ckks/encryptor.hpp"
+#include "ckks/keygen.hpp"
+#include "ckks/lintrans.hpp"
+
+namespace fideslib::ckks
+{
+namespace
+{
+
+std::vector<Cplx>
+randomVec(std::size_t n, u64 seed)
+{
+    std::vector<Cplx> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] = Cplx(std::cos(0.71L * (i + seed)),
+                    std::sin(1.3L * (i + 2 * seed)));
+    }
+    return v;
+}
+
+void
+expectVecNear(const std::vector<Cplx> &a, const std::vector<Cplx> &b,
+              double tol)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_NEAR((double)std::abs(a[i] - b[i]), 0.0, tol) << i;
+}
+
+TEST(DiagMatrix, IdentityActsTrivially)
+{
+    auto v = randomVec(16, 1);
+    auto id = DiagMatrix::identity(16);
+    expectVecNear(id.apply(v), v, 1e-15);
+}
+
+TEST(DiagMatrix, FromDenseMatchesDenseMatVec)
+{
+    const u32 n = 8;
+    auto v = randomVec(n, 2);
+    std::vector<Cplx> dense(n * n);
+    for (u32 r = 0; r < n; ++r)
+        for (u32 c = 0; c < n; ++c)
+            dense[r * n + c] = Cplx(0.1L * r - 0.2L, 0.05L * c);
+    auto m = DiagMatrix::fromDense(n, dense);
+    std::vector<Cplx> want(n, Cplx(0, 0));
+    for (u32 r = 0; r < n; ++r)
+        for (u32 c = 0; c < n; ++c)
+            want[r] += dense[r * n + c] * v[c];
+    expectVecNear(m.apply(v), want, 1e-12);
+}
+
+TEST(DiagMatrix, ComposeAfterMatchesSequentialApplication)
+{
+    const u32 n = 16;
+    auto v = randomVec(n, 3);
+    auto a = DiagMatrix::fftStage(n, 4, false);
+    auto b = DiagMatrix::fftStage(n, 8, true);
+    auto ab = a.composeAfter(b);
+    expectVecNear(ab.apply(v), a.apply(b.apply(v)), 1e-12);
+}
+
+TEST(DiagMatrix, ForwardStagesReproduceSpecialFFT)
+{
+    for (u32 n : {4u, 16u, 64u}) {
+        auto u = randomVec(n, 4);
+        // Reference: the encoder's forward transform.
+        auto want = u;
+        specialFFT(want);
+        // Stage path: bit-reverse, then forward butterflies len=2..n.
+        std::vector<Cplx> v(n);
+        for (u32 i = 0; i < n; ++i)
+            v[bitReverse(i, log2Floor(n))] = u[i];
+        for (u32 len = 2; len <= n; len <<= 1)
+            v = DiagMatrix::fftStage(n, len, false).apply(v);
+        expectVecNear(v, want, 1e-9);
+    }
+}
+
+TEST(DiagMatrix, InverseStagesInvertForwardStages)
+{
+    const u32 n = 32;
+    auto v = randomVec(n, 5);
+    auto fwd = v;
+    for (u32 len = 2; len <= n; len <<= 1)
+        fwd = DiagMatrix::fftStage(n, len, false).apply(fwd);
+    for (u32 len = n; len >= 2; len >>= 1)
+        fwd = DiagMatrix::fftStage(n, len, true).apply(fwd);
+    expectVecNear(fwd, v, 1e-9);
+}
+
+TEST(LinTrans, C2SStagesEqualBitrevOfInverseFFT)
+{
+    for (u32 budget : {1u, 2u, 3u}) {
+        const u32 n = 32;
+        auto z = randomVec(n, 6);
+        auto stages = buildC2SStages(n, budget);
+        auto got = z;
+        for (const auto &s : stages)
+            got = s.apply(got);
+        auto want = z;
+        specialIFFT(want);
+        std::vector<Cplx> wantRev(n);
+        for (u32 i = 0; i < n; ++i)
+            wantRev[bitReverse(i, log2Floor(n))] = want[i];
+        expectVecNear(got, wantRev, 1e-9);
+    }
+}
+
+TEST(LinTrans, S2CUndoesC2S)
+{
+    const u32 n = 64;
+    auto z = randomVec(n, 7);
+    auto c2s = buildC2SStages(n, 3);
+    auto s2c = buildS2CStages(n, 2);
+    auto v = z;
+    for (const auto &s : c2s)
+        v = s.apply(v);
+    for (const auto &s : s2c)
+        v = s.apply(v);
+    expectVecNear(v, z, 1e-9);
+}
+
+TEST(LinTrans, BsgsPlanCoversAllOffsets)
+{
+    auto m = buildC2SStages(64, 2)[0];
+    auto plan = planBsgs(m);
+    for (const auto &[d, diag] : m.diags()) {
+        i64 j = d % plan.babyCount;
+        i64 g = d - j;
+        EXPECT_NE(std::find(plan.babies.begin(), plan.babies.end(), j),
+                  plan.babies.end());
+        EXPECT_NE(std::find(plan.giants.begin(), plan.giants.end(), g),
+                  plan.giants.end());
+    }
+    // BSGS must beat the naive rotation count for multi-diag maps.
+    EXPECT_LT(plan.babies.size() + plan.giants.size(),
+              m.diags().size() + 2);
+}
+
+class LinTransHomomorphic : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        Parameters p = Parameters::testSmall();
+        p.multDepth = 5;
+        ctx = new Context(p);
+        keygen = new KeyGen(*ctx);
+        keys = new KeyBundle(keygen->makeBundle({}, true));
+        eval = new Evaluator(*ctx, *keys);
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete eval;
+        delete keys;
+        delete keygen;
+        delete ctx;
+        ctx = nullptr;
+    }
+    static Context *ctx;
+    static KeyGen *keygen;
+    static KeyBundle *keys;
+    static Evaluator *eval;
+};
+
+Context *LinTransHomomorphic::ctx = nullptr;
+KeyGen *LinTransHomomorphic::keygen = nullptr;
+KeyBundle *LinTransHomomorphic::keys = nullptr;
+Evaluator *LinTransHomomorphic::eval = nullptr;
+
+TEST_F(LinTransHomomorphic, EncryptedApplyMatchesPlainOracle)
+{
+    const u32 slots = 16;
+    auto m = DiagMatrix::fftStage(slots, 8, true);
+    m = DiagMatrix::fftStage(slots, 4, true).composeAfter(m);
+    keygen->addRotationKeys(*keys, requiredRotations(m));
+
+    auto z = randomVec(slots, 8);
+    std::vector<std::complex<double>> zd(slots);
+    for (u32 i = 0; i < slots; ++i)
+        zd[i] = {(double)z[i].real(), (double)z[i].imag()};
+
+    Encoder enc(*ctx);
+    Encryptor encr(*ctx, keys->pk);
+    auto ct = encr.encrypt(enc.encode(zd, slots, ctx->maxLevel()));
+
+    auto out = applyDiagMatrix(*eval, ct, m);
+    auto got = enc.decode(encr.decrypt(out, keygen->secretKey()));
+    auto want = m.apply(z);
+    for (u32 i = 0; i < slots; ++i)
+        ASSERT_NEAR(std::abs(Cplx(got[i].real(), got[i].imag())
+                             - want[i]),
+                    0.0, 1e-4) << i;
+}
+
+TEST_F(LinTransHomomorphic, RandomDenseMatrixEncrypted)
+{
+    const u32 slots = 8;
+    std::vector<Cplx> dense(slots * slots);
+    for (u32 i = 0; i < slots * slots; ++i)
+        dense[i] = Cplx(std::cos(0.37L * i), std::sin(0.91L * i))
+                 * Cplx(0.3L, 0);
+    auto m = DiagMatrix::fromDense(slots, dense);
+    keygen->addRotationKeys(*keys, requiredRotations(m));
+
+    auto z = randomVec(slots, 9);
+    std::vector<std::complex<double>> zd(slots);
+    for (u32 i = 0; i < slots; ++i)
+        zd[i] = {(double)z[i].real(), (double)z[i].imag()};
+
+    Encoder enc(*ctx);
+    Encryptor encr(*ctx, keys->pk);
+    auto ct = encr.encrypt(enc.encode(zd, slots, 3));
+    auto out = applyDiagMatrix(*eval, ct, m);
+    auto got = enc.decode(encr.decrypt(out, keygen->secretKey()));
+    auto want = m.apply(z);
+    for (u32 i = 0; i < slots; ++i)
+        ASSERT_NEAR(std::abs(Cplx(got[i].real(), got[i].imag())
+                             - want[i]),
+                    0.0, 1e-4) << i;
+}
+
+} // namespace
+} // namespace fideslib::ckks

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the logistic-regression workload: the synthetic dataset
+ * generator, the plain training oracle, and the encrypted iteration
+ * against the plain oracle (same approximations, same mini-batch).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckks/keygen.hpp"
+#include "ckks/lr.hpp"
+
+namespace fideslib::ckks::lr
+{
+namespace
+{
+
+TEST(LrData, GeneratorShapeAndDeterminism)
+{
+    auto a = generateLoanDataset(500, 25, 7);
+    EXPECT_EQ(a.x.size(), 500u);
+    EXPECT_EQ(a.y.size(), 500u);
+    EXPECT_EQ(a.features, 25u);
+    for (const auto &row : a.x) {
+        ASSERT_EQ(row.size(), 25u);
+        for (double v : row)
+            ASSERT_LE(std::fabs(v), 1.0);
+    }
+    for (double y : a.y)
+        ASSERT_TRUE(y == 1.0 || y == -1.0);
+    auto b = generateLoanDataset(500, 25, 7);
+    EXPECT_EQ(a.x, b.x);
+    EXPECT_EQ(a.y, b.y);
+    auto c = generateLoanDataset(500, 25, 8);
+    EXPECT_NE(a.y, c.y);
+}
+
+TEST(LrData, ClassesAreBalancedEnough)
+{
+    auto d = generateLoanDataset(2000, 25, 3);
+    int pos = 0;
+    for (double y : d.y)
+        pos += y > 0;
+    EXPECT_GT(pos, 400);
+    EXPECT_LT(pos, 1600);
+}
+
+TEST(LrPlain, SigmoidApproximationNearTruth)
+{
+    for (double x : {-4.0, -1.0, 0.0, 0.5, 2.0, 4.0}) {
+        double truth = 1.0 / (1.0 + std::exp(-x));
+        EXPECT_NEAR(sigmoid3(x), truth, 0.06) << x;
+    }
+    EXPECT_NEAR(sigmoid3(0), 0.5, 1e-12);
+}
+
+TEST(LrPlain, TrainingImprovesAccuracy)
+{
+    auto data = generateLoanDataset(4000, 25, 11);
+    std::vector<double> w(25, 0.0);
+    double before = accuracy(data, w);
+    for (int it = 0; it < 40; ++it)
+        w = plainStep(data, it * 100, 100, w, 1.0);
+    double after = accuracy(data, w);
+    EXPECT_GT(after, 0.75);
+    EXPECT_GT(after, before);
+}
+
+class LrEncryptedTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        Parameters p;
+        p.logN = 11;
+        p.multDepth = 14;
+        p.logDelta = 40;
+        p.dnum = 2;
+        p.firstModBits = 55;
+        p.specialModBits = 55;
+        ctx = new Context(p);
+        keygen = new KeyGen(*ctx);
+        keys = new KeyBundle(keygen->makeBundle({}));
+        eval = new Evaluator(*ctx, *keys);
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete eval;
+        delete keys;
+        delete keygen;
+        delete ctx;
+        ctx = nullptr;
+    }
+    static Context *ctx;
+    static KeyGen *keygen;
+    static KeyBundle *keys;
+    static Evaluator *eval;
+};
+
+Context *LrEncryptedTest::ctx = nullptr;
+KeyGen *LrEncryptedTest::keygen = nullptr;
+KeyBundle *LrEncryptedTest::keys = nullptr;
+Evaluator *LrEncryptedTest::eval = nullptr;
+
+TEST_F(LrEncryptedTest, EncryptedIterationMatchesPlainOracle)
+{
+    const u32 features = 25;
+    const u32 batch = 32; // 32 x 32 = 1024 slots = N/2
+    auto data = generateLoanDataset(256, features, 21);
+    Trainer trainer(*eval, features, batch);
+    EXPECT_EQ(trainer.paddedFeatures(), 32u);
+    keygen->addRotationKeys(*keys, trainer.requiredRotations());
+
+    Encryptor encr(*ctx, keys->pk);
+    std::vector<double> w0(features, 0.05);
+    auto ctW = trainer.encryptWeights(encr, w0, ctx->maxLevel());
+    auto ctZ = trainer.encryptBatch(encr, data, 0, ctx->maxLevel());
+
+    auto ctW1 = trainer.iterate(ctW, ctZ, 1.0);
+    EXPECT_LE(ctx->maxLevel() - ctW1.level(),
+              Trainer::iterationDepth());
+
+    Encoder enc(*ctx);
+    auto got = trainer.extractWeights(
+        enc, Encryptor(*ctx, keys->pk)
+                 .decrypt(ctW1, keygen->secretKey()));
+    auto want = plainStep(data, 0, batch, w0, 1.0);
+    for (u32 j = 0; j < features; ++j)
+        ASSERT_NEAR(got[j], want[j], 1e-3) << "weight " << j;
+}
+
+TEST_F(LrEncryptedTest, TwoIterationsTrackPlainTraining)
+{
+    const u32 features = 10;
+    const u32 batch = 64;
+    auto data = generateLoanDataset(256, features, 33);
+    Trainer trainer(*eval, features, batch);
+    keygen->addRotationKeys(*keys, trainer.requiredRotations());
+
+    Encryptor encr(*ctx, keys->pk);
+    std::vector<double> w(features, 0.0);
+    auto ctW = trainer.encryptWeights(encr, w, ctx->maxLevel());
+
+    Encoder enc(*ctx);
+    for (int it = 0; it < 2; ++it) {
+        auto ctZ = trainer.encryptBatch(encr, data, it * batch,
+                                        ctW.level());
+        // Batch must sit at the weight ciphertext's current level.
+        ctW = trainer.iterate(ctW, ctZ, 1.0);
+        w = plainStep(data, it * batch, batch, w, 1.0);
+    }
+    auto got = trainer.extractWeights(
+        enc,
+        Encryptor(*ctx, keys->pk).decrypt(ctW, keygen->secretKey()));
+    for (u32 j = 0; j < features; ++j)
+        ASSERT_NEAR(got[j], w[j], 5e-3) << "weight " << j;
+}
+
+} // namespace
+} // namespace fideslib::ckks::lr

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit and property tests for the modular arithmetic module: every
+ * fast reduction strategy must agree with the naive `%` reduction on
+ * random operands, across a sweep of modulus widths (Table III's four
+ * methods).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/modarith.hpp"
+#include "core/primes.hpp"
+#include "core/rng.hpp"
+
+namespace fideslib
+{
+namespace
+{
+
+class ModArithParam : public ::testing::TestWithParam<u32> {};
+
+TEST_P(ModArithParam, BarrettMatchesNaive)
+{
+    u64 p = generatePrimeBelow(GetParam(), 2);
+    Modulus m(p);
+    Prng prng(GetParam());
+    for (int i = 0; i < 2000; ++i) {
+        u64 a = prng.uniform(p);
+        u64 b = prng.uniform(p);
+        EXPECT_EQ(mulModBarrett(a, b, m), mulModNaive(a, b, p));
+    }
+}
+
+TEST_P(ModArithParam, BarrettReduce64MatchesNaive)
+{
+    u64 p = generatePrimeBelow(GetParam(), 2);
+    Modulus m(p);
+    Prng prng(GetParam() + 1);
+    for (int i = 0; i < 2000; ++i) {
+        u64 x = prng.nextU64();
+        EXPECT_EQ(barrettReduce64(x, m), x % p);
+    }
+}
+
+TEST_P(ModArithParam, MontgomeryRoundTrip)
+{
+    u64 p = generatePrimeBelow(GetParam(), 2);
+    Modulus m(p);
+    Prng prng(GetParam() + 2);
+    for (int i = 0; i < 2000; ++i) {
+        u64 a = prng.uniform(p);
+        EXPECT_EQ(fromMontgomery(toMontgomery(a, m), m), a);
+    }
+}
+
+TEST_P(ModArithParam, MontgomeryMultiplicationMatchesNaive)
+{
+    u64 p = generatePrimeBelow(GetParam(), 2);
+    Modulus m(p);
+    Prng prng(GetParam() + 3);
+    for (int i = 0; i < 2000; ++i) {
+        u64 a = prng.uniform(p);
+        u64 b = prng.uniform(p);
+        u64 am = toMontgomery(a, m);
+        u64 bm = toMontgomery(b, m);
+        u64 cm = mulModMontgomery(am, bm, m);
+        EXPECT_EQ(fromMontgomery(cm, m), mulModNaive(a, b, p));
+    }
+}
+
+TEST_P(ModArithParam, ShoupMatchesNaive)
+{
+    u64 p = generatePrimeBelow(GetParam(), 2);
+    Modulus m(p);
+    Prng prng(GetParam() + 4);
+    for (int i = 0; i < 500; ++i) {
+        u64 w = prng.uniform(p);
+        u64 ws = shoupPrecompute(w, p);
+        for (int j = 0; j < 8; ++j) {
+            u64 a = prng.uniform(p);
+            EXPECT_EQ(mulModShoup(a, w, ws, p), mulModNaive(a, w, p));
+        }
+    }
+}
+
+TEST_P(ModArithParam, ShoupLazyBoundHoldsForLazyInputs)
+{
+    // The NTT feeds Shoup multiplications operands up to 4p; the lazy
+    // product must stay below 2p for any 64-bit multiplicand.
+    u64 p = generatePrimeBelow(GetParam(), 2);
+    Prng prng(GetParam() + 5);
+    for (int i = 0; i < 500; ++i) {
+        u64 w = prng.uniform(p);
+        u64 ws = shoupPrecompute(w, p);
+        u64 a = prng.nextU64(); // arbitrary 64-bit operand
+        u64 r = mulModShoupLazy(a, w, ws, p);
+        EXPECT_LT(r, 2 * p);
+        EXPECT_EQ(r % p, mulModNaive(a, w, p));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ModArithParam,
+                         ::testing::Values(20u, 30u, 36u, 45u, 49u,
+                                           55u, 59u, 60u));
+
+TEST(ModArith, AddSubNegBasics)
+{
+    Modulus m(17);
+    EXPECT_EQ(addMod(9, 9, 17), 1u);
+    EXPECT_EQ(addMod(0, 0, 17), 0u);
+    EXPECT_EQ(subMod(3, 5, 17), 15u);
+    EXPECT_EQ(subMod(5, 3, 17), 2u);
+    EXPECT_EQ(negMod(0, 17), 0u);
+    EXPECT_EQ(negMod(4, 17), 13u);
+}
+
+TEST(ModArith, PowModSmallCases)
+{
+    Modulus m(97);
+    EXPECT_EQ(powMod(2, 0, m), 1u);
+    EXPECT_EQ(powMod(2, 10, m), 1024 % 97);
+    EXPECT_EQ(powMod(96, 2, m), 1u); // (-1)^2
+    // Fermat: a^(p-1) = 1
+    for (u64 a = 1; a < 97; ++a)
+        EXPECT_EQ(powMod(a, 96, m), 1u);
+}
+
+TEST(ModArith, InvModIsInverse)
+{
+    u64 p = generatePrimeBelow(50, 2);
+    Modulus m(p);
+    Prng prng(7);
+    for (int i = 0; i < 200; ++i) {
+        u64 a = 1 + prng.uniform(p - 1);
+        u64 ai = invMod(a, m);
+        EXPECT_EQ(mulModBarrett(a, ai, m), 1u);
+    }
+}
+
+TEST(ModArith, ModulusRatioIsExact)
+{
+    // ratio must equal floor(2^128 / p) exactly; check via the
+    // identity p * ratio <= 2^128 < p * (ratio + 1).
+    for (u32 bits : {30u, 45u, 59u, 60u}) {
+        u64 p = generatePrimeBelow(bits, 2);
+        Modulus m(p);
+        // Reconstruct p * ratio and confirm 2^128 - p*ratio < p.
+        u128 low = static_cast<u128>(m.ratio[0]) * p;
+        u128 high = static_cast<u128>(m.ratio[1]) * p;
+        // 2^128 - (high << 64 + low): compute as two's complement.
+        u128 total = (high << 64) + low; // mod 2^128
+        u128 diff = static_cast<u128>(0) - total; // 2^128 - total mod 2^128
+        EXPECT_LT(static_cast<u64>(diff >> 64), 1u);
+        EXPECT_LT(static_cast<u64>(diff), p);
+    }
+}
+
+} // namespace
+} // namespace fideslib

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the negacyclic NTT: round trips, agreement with the naive
+ * O(n^2) evaluation, the hierarchical schedule's bit-exact equivalence
+ * to the flat schedule, and the convolution property that CKKS relies
+ * on (pointwise product in evaluation domain == negacyclic convolution
+ * in coefficient domain).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ntt.hpp"
+#include "core/primes.hpp"
+#include "core/rng.hpp"
+
+namespace fideslib
+{
+namespace
+{
+
+struct NttSetup
+{
+    Modulus mod;
+    NttTables tables;
+
+    NttSetup(std::size_t n, u32 bits, u64 seed)
+        : mod(generatePrimeBelow(bits, 2 * n)),
+          tables(n, mod, findPrimitiveRoot(2 * n, mod))
+    {
+        (void)seed;
+    }
+};
+
+std::vector<u64>
+randomPoly(Prng &prng, std::size_t n, u64 q)
+{
+    std::vector<u64> a(n);
+    sampleUniform(prng, q, a);
+    return a;
+}
+
+class NttParam : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NttParam, ForwardInverseRoundTrip)
+{
+    std::size_t n = GetParam();
+    NttSetup s(n, 59, 1);
+    Prng prng(n);
+    auto a = randomPoly(prng, n, s.mod.value);
+    auto b = a;
+    nttForward(b.data(), s.tables);
+    nttInverse(b.data(), s.tables);
+    EXPECT_EQ(a, b);
+}
+
+TEST_P(NttParam, ForwardMatchesNaiveEvaluation)
+{
+    std::size_t n = GetParam();
+    if (n > 256)
+        GTEST_SKIP() << "naive check restricted to small sizes";
+    NttSetup s(n, 49, 2);
+    Prng prng(n + 1);
+    auto a = randomPoly(prng, n, s.mod.value);
+    auto naive = nttNaive(a, s.tables);
+    auto fast = a;
+    nttForward(fast.data(), s.tables);
+    EXPECT_EQ(naive, fast);
+}
+
+TEST_P(NttParam, HierarchicalForwardBitExact)
+{
+    std::size_t n = GetParam();
+    NttSetup s(n, 59, 3);
+    Prng prng(n + 2);
+    auto a = randomPoly(prng, n, s.mod.value);
+    auto flat = a;
+    auto hier = a;
+    nttForward(flat.data(), s.tables);
+    nttForwardHierarchical(hier.data(), s.tables);
+    EXPECT_EQ(flat, hier);
+}
+
+TEST_P(NttParam, HierarchicalInverseBitExact)
+{
+    std::size_t n = GetParam();
+    NttSetup s(n, 59, 4);
+    Prng prng(n + 3);
+    auto a = randomPoly(prng, n, s.mod.value);
+    auto flat = a;
+    auto hier = a;
+    nttInverse(flat.data(), s.tables);
+    nttInverseHierarchical(hier.data(), s.tables);
+    EXPECT_EQ(flat, hier);
+}
+
+TEST_P(NttParam, HierarchicalRoundTrip)
+{
+    std::size_t n = GetParam();
+    NttSetup s(n, 55, 5);
+    Prng prng(n + 4);
+    auto a = randomPoly(prng, n, s.mod.value);
+    auto b = a;
+    nttForwardHierarchical(b.data(), s.tables);
+    nttInverseHierarchical(b.data(), s.tables);
+    EXPECT_EQ(a, b);
+}
+
+TEST_P(NttParam, OutputsAreFullyReduced)
+{
+    std::size_t n = GetParam();
+    NttSetup s(n, 60, 6);
+    Prng prng(n + 5);
+    auto a = randomPoly(prng, n, s.mod.value);
+    nttForward(a.data(), s.tables);
+    for (u64 v : a)
+        ASSERT_LT(v, s.mod.value);
+    nttInverse(a.data(), s.tables);
+    for (u64 v : a)
+        ASSERT_LT(v, s.mod.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, NttParam,
+                         ::testing::Values(4u, 8u, 16u, 64u, 128u, 256u,
+                                           1024u, 4096u, 8192u));
+
+/** Schoolbook negacyclic product used as the convolution oracle. */
+std::vector<u64>
+negacyclicMul(const std::vector<u64> &a, const std::vector<u64> &b,
+              const Modulus &m)
+{
+    std::size_t n = a.size();
+    std::vector<u64> c(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            u64 prod = mulModNaive(a[i], b[j], m.value);
+            std::size_t k = i + j;
+            if (k < n) {
+                c[k] = addMod(c[k], prod, m.value);
+            } else {
+                c[k - n] = subMod(c[k - n], prod, m.value);
+            }
+        }
+    }
+    return c;
+}
+
+TEST(Ntt, ConvolutionProperty)
+{
+    for (std::size_t n : {8u, 32u, 128u}) {
+        NttSetup s(n, 50, 7);
+        Prng prng(n + 6);
+        auto a = randomPoly(prng, n, s.mod.value);
+        auto b = randomPoly(prng, n, s.mod.value);
+        auto expect = negacyclicMul(a, b, s.mod);
+
+        nttForward(a.data(), s.tables);
+        nttForward(b.data(), s.tables);
+        std::vector<u64> c(n);
+        for (std::size_t i = 0; i < n; ++i)
+            c[i] = mulModNaive(a[i], b[i], s.mod.value);
+        nttInverse(c.data(), s.tables);
+        EXPECT_EQ(c, expect) << "n=" << n;
+    }
+}
+
+TEST(Ntt, LinearityUnderAddition)
+{
+    std::size_t n = 512;
+    NttSetup s(n, 59, 8);
+    Prng prng(77);
+    auto a = randomPoly(prng, n, s.mod.value);
+    auto b = randomPoly(prng, n, s.mod.value);
+    std::vector<u64> sum(n);
+    for (std::size_t i = 0; i < n; ++i)
+        sum[i] = addMod(a[i], b[i], s.mod.value);
+    nttForward(a.data(), s.tables);
+    nttForward(b.data(), s.tables);
+    nttForward(sum.data(), s.tables);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(sum[i], addMod(a[i], b[i], s.mod.value));
+}
+
+TEST(Ntt, MonomialTimesPolyShifts)
+{
+    // Multiplying by X in eval domain then returning must equal a
+    // negacyclic shift: [a_0..a_{n-1}] -> [-a_{n-1}, a_0, ...].
+    std::size_t n = 64;
+    NttSetup s(n, 45, 9);
+    Prng prng(99);
+    auto a = randomPoly(prng, n, s.mod.value);
+    std::vector<u64> x(n, 0);
+    x[1] = 1;
+    auto av = a, xv = x;
+    nttForward(av.data(), s.tables);
+    nttForward(xv.data(), s.tables);
+    std::vector<u64> c(n);
+    for (std::size_t i = 0; i < n; ++i)
+        c[i] = mulModNaive(av[i], xv[i], s.mod.value);
+    nttInverse(c.data(), s.tables);
+    EXPECT_EQ(c[0], negMod(a[n - 1], s.mod.value));
+    for (std::size_t i = 1; i < n; ++i)
+        ASSERT_EQ(c[i], a[i - 1]);
+}
+
+} // namespace
+} // namespace fideslib

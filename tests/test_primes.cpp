@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for NTT-friendly prime generation and primitive root finding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/primes.hpp"
+
+namespace fideslib
+{
+namespace
+{
+
+TEST(Primes, IsPrimeSmallTable)
+{
+    std::set<u64> small = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37,
+                           41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
+                           89, 97};
+    for (u64 n = 0; n <= 100; ++n)
+        EXPECT_EQ(isPrime(n), small.count(n) == 1) << n;
+}
+
+TEST(Primes, IsPrimeKnown64Bit)
+{
+    EXPECT_TRUE(isPrime((1ULL << 61) - 1));   // Mersenne prime M61
+    EXPECT_FALSE(isPrime((1ULL << 60) - 1));
+    EXPECT_TRUE(isPrime(0xFFFFFFFF00000001ULL)); // Goldilocks prime
+    // Strong pseudoprime to several bases; composite.
+    EXPECT_FALSE(isPrime(3215031751ULL));
+    // Carmichael number.
+    EXPECT_FALSE(isPrime(561));
+}
+
+class PrimeGenParam
+    : public ::testing::TestWithParam<std::tuple<u32, u64, int>> {};
+
+TEST_P(PrimeGenParam, GeneratedPrimesSatisfyCongruence)
+{
+    auto [bits, twoN, count] = GetParam();
+    auto primes = generatePrimes(bits, twoN, count);
+    ASSERT_EQ(primes.size(), static_cast<std::size_t>(count));
+    std::set<u64> seen;
+    for (u64 p : primes) {
+        EXPECT_TRUE(isPrime(p));
+        EXPECT_EQ(p % twoN, 1u);
+        EXPECT_TRUE(seen.insert(p).second) << "duplicate " << p;
+        // Stay within one step size of the target width.
+        EXPECT_NEAR(std::log2(static_cast<double>(p)),
+                    static_cast<double>(bits), 0.1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, PrimeGenParam,
+    ::testing::Values(std::make_tuple(36u, 1ULL << 14, 6),
+                      std::make_tuple(49u, 1ULL << 15, 14),
+                      std::make_tuple(59u, 1ULL << 17, 30),
+                      std::make_tuple(40u, 1ULL << 11, 4)));
+
+TEST(Primes, GeneratePrimeBelowIsBelow)
+{
+    for (u32 bits : {40u, 50u, 60u}) {
+        u64 p = generatePrimeBelow(bits, 1ULL << 15);
+        EXPECT_TRUE(isPrime(p));
+        EXPECT_EQ(p % (1ULL << 15), 1u);
+        EXPECT_LT(p, 1ULL << bits);
+        EXPECT_GT(p, (1ULL << bits) - (1ULL << (bits - 3)));
+    }
+}
+
+TEST(Primes, ExclusionRespected)
+{
+    u64 p1 = generatePrimeBelow(45, 1ULL << 12);
+    u64 p2 = generatePrimeBelow(45, 1ULL << 12, {p1});
+    EXPECT_NE(p1, p2);
+    EXPECT_TRUE(isPrime(p2));
+}
+
+TEST(Primes, PrimitiveRootHasExactOrder)
+{
+    for (u32 logTwoN : {12u, 14u}) {
+        u64 twoN = 1ULL << logTwoN;
+        u64 p = generatePrimeBelow(45, twoN);
+        Modulus m(p);
+        u64 psi = findPrimitiveRoot(twoN, m);
+        EXPECT_EQ(powMod(psi, twoN, m), 1u);
+        EXPECT_EQ(powMod(psi, twoN / 2, m), p - 1);
+        // Primitive: psi^(2N/q) != 1 for prime divisors q of 2N (only 2).
+        EXPECT_NE(powMod(psi, twoN / 2, m), 1u);
+    }
+}
+
+TEST(Primes, GeneratorGeneratesGroup)
+{
+    u64 p = 257; // small enough to verify exhaustively
+    Modulus m(p);
+    u64 g = findGenerator(m);
+    std::set<u64> values;
+    u64 x = 1;
+    for (u64 i = 0; i < p - 1; ++i) {
+        x = mulModBarrett(x, g, m);
+        values.insert(x);
+    }
+    EXPECT_EQ(values.size(), p - 1);
+}
+
+} // namespace
+} // namespace fideslib

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Property-based tests: the homomorphic ring laws and rotation group
+ * structure must hold for every parameter shape, exercised with
+ * parameterized sweeps over (logN, depth, logDelta, dnum).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ckks/encryptor.hpp"
+#include "ckks/evaluator.hpp"
+#include "ckks/keygen.hpp"
+
+namespace fideslib::ckks
+{
+namespace
+{
+
+struct ParamShape
+{
+    u32 logN, depth, logDelta, dnum;
+};
+
+std::ostream &
+operator<<(std::ostream &os, const ParamShape &p)
+{
+    return os << "logN" << p.logN << "_L" << p.depth << "_d"
+              << p.logDelta << "_dnum" << p.dnum;
+}
+
+class PropertyTest : public ::testing::TestWithParam<ParamShape>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto s = GetParam();
+        Parameters p;
+        p.logN = s.logN;
+        p.multDepth = s.depth;
+        p.logDelta = s.logDelta;
+        p.dnum = s.dnum;
+        p.firstModBits = std::min(60u, s.logDelta + 10);
+        p.specialModBits = p.firstModBits;
+        ctx = std::make_unique<Context>(p);
+        keygen = std::make_unique<KeyGen>(*ctx);
+        keys = std::make_unique<KeyBundle>(
+            keygen->makeBundle({1, 2}, true));
+        eval = std::make_unique<Evaluator>(*ctx, *keys);
+    }
+
+    std::vector<std::complex<double>>
+    vec(u64 seed, double amp = 0.8) const
+    {
+        std::vector<std::complex<double>> z(slots());
+        for (u32 i = 0; i < slots(); ++i) {
+            z[i] = {amp * std::cos(0.41 * i + seed),
+                    amp * std::sin(1.1 * i + 2.0 * seed)};
+        }
+        return z;
+    }
+
+    u32 slots() const { return 16; }
+
+    Ciphertext
+    encrypt(const std::vector<std::complex<double>> &z, u32 level) const
+    {
+        Encoder enc(*ctx);
+        Encryptor e(*ctx, keys->pk);
+        return e.encrypt(enc.encode(z, slots(), level));
+    }
+
+    std::vector<std::complex<double>>
+    decrypt(const Ciphertext &ct) const
+    {
+        Encoder enc(*ctx);
+        Encryptor e(*ctx, keys->pk);
+        return enc.decode(e.decrypt(ct, keygen->secretKey()));
+    }
+
+    static void
+    close(const std::vector<std::complex<double>> &a,
+          const std::vector<std::complex<double>> &b, double tol)
+    {
+        for (std::size_t i = 0; i < a.size(); ++i)
+            ASSERT_NEAR(std::abs(a[i] - b[i]), 0.0, tol) << i;
+    }
+
+    std::unique_ptr<Context> ctx;
+    std::unique_ptr<KeyGen> keygen;
+    std::unique_ptr<KeyBundle> keys;
+    std::unique_ptr<Evaluator> eval;
+};
+
+TEST_P(PropertyTest, AdditionCommutes)
+{
+    auto a = encrypt(vec(1), 2), b = encrypt(vec(2), 2);
+    close(decrypt(eval->add(a, b)), decrypt(eval->add(b, a)), 1e-6);
+}
+
+TEST_P(PropertyTest, AdditionAssociates)
+{
+    auto a = encrypt(vec(1), 2), b = encrypt(vec(2), 2),
+         c = encrypt(vec(3), 2);
+    auto lhs = eval->add(eval->add(a, b), c);
+    auto rhs = eval->add(a, eval->add(b, c));
+    close(decrypt(lhs), decrypt(rhs), 1e-6);
+}
+
+TEST_P(PropertyTest, MultiplicationCommutes)
+{
+    auto a = encrypt(vec(4), ctx->maxLevel());
+    auto b = encrypt(vec(5), ctx->maxLevel());
+    auto ab = eval->multiply(a, b);
+    auto ba = eval->multiply(b, a);
+    eval->rescaleInPlace(ab);
+    eval->rescaleInPlace(ba);
+    close(decrypt(ab), decrypt(ba), 1e-4);
+}
+
+TEST_P(PropertyTest, DistributiveLaw)
+{
+    auto a = encrypt(vec(6), ctx->maxLevel());
+    auto b = encrypt(vec(7), ctx->maxLevel());
+    auto c = encrypt(vec(8), ctx->maxLevel());
+    // a*(b+c) == a*b + a*c
+    auto lhs = eval->multiply(a, eval->add(b, c));
+    eval->rescaleInPlace(lhs);
+    auto ab = eval->multiply(a, b);
+    auto ac = eval->multiply(a, c);
+    auto rhs = eval->add(ab, ac);
+    eval->rescaleInPlace(rhs);
+    close(decrypt(lhs), decrypt(rhs), 1e-4);
+}
+
+TEST_P(PropertyTest, AdditiveIdentityAndInverse)
+{
+    auto z = vec(9);
+    auto a = encrypt(z, 1);
+    auto minus = a.clone();
+    eval->negateInPlace(minus);
+    eval->addInPlace(minus, a); // a + (-a) = 0
+    auto got = decrypt(minus);
+    for (u32 i = 0; i < slots(); ++i)
+        ASSERT_NEAR(std::abs(got[i]), 0.0, 1e-6);
+}
+
+TEST_P(PropertyTest, ScalarOpsMatchPlaintextOps)
+{
+    auto z = vec(10);
+    auto a = encrypt(z, ctx->maxLevel());
+    eval->multiplyScalarInPlace(a, -1.25);
+    eval->rescaleInPlace(a);
+    eval->addScalarInPlace(a, 0.375);
+    auto got = decrypt(a);
+    for (u32 i = 0; i < slots(); ++i) {
+        auto want = z[i] * (-1.25) + std::complex<double>(0.375, 0);
+        ASSERT_NEAR(std::abs(got[i] - want), 0.0, 1e-5);
+    }
+}
+
+TEST_P(PropertyTest, RotationGroupActsFreely)
+{
+    auto z = vec(11);
+    auto a = encrypt(z, 1);
+    // rot(rot(a,1),2) == rot(a,3) == rot(rot(a,2),1)
+    auto r12 = eval->rotate(eval->rotate(a, 1), 2);
+    auto r21 = eval->rotate(eval->rotate(a, 2), 1);
+    close(decrypt(r12), decrypt(r21), 1e-5);
+    // Full cycle is identity.
+    auto cycle = a.clone();
+    for (u32 i = 0; i < slots(); i += 2)
+        cycle = eval->rotate(cycle, 2);
+    close(decrypt(cycle), z, 1e-5);
+}
+
+TEST_P(PropertyTest, ConjugationIsInvolution)
+{
+    auto z = vec(12);
+    auto a = encrypt(z, 1);
+    auto twice = eval->conjugate(eval->conjugate(a));
+    close(decrypt(twice), z, 1e-5);
+}
+
+TEST_P(PropertyTest, ConjugateDistributesOverMult)
+{
+    auto a = encrypt(vec(13), ctx->maxLevel());
+    auto b = encrypt(vec(14), ctx->maxLevel());
+    auto lhs = eval->multiply(a, b);
+    eval->rescaleInPlace(lhs);
+    lhs = eval->conjugate(lhs);
+    auto rhs = eval->multiply(eval->conjugate(a), eval->conjugate(b));
+    eval->rescaleInPlace(rhs);
+    close(decrypt(lhs), decrypt(rhs), 1e-4);
+}
+
+TEST_P(PropertyTest, RescaleCommutesWithAddition)
+{
+    auto a = encrypt(vec(15), ctx->maxLevel());
+    auto b = encrypt(vec(16), ctx->maxLevel());
+    auto pa = eval->multiply(a, a);
+    auto pb = eval->multiply(b, b);
+    // (pa + pb) rescaled == rescale(pa) + rescale(pb)
+    auto sum = eval->add(pa, pb);
+    eval->rescaleInPlace(sum);
+    eval->rescaleInPlace(pa);
+    eval->rescaleInPlace(pb);
+    auto sep = eval->add(pa, pb);
+    close(decrypt(sum), decrypt(sep), 1e-4);
+}
+
+TEST_P(PropertyTest, HoistedAndPlainRotationsAgree)
+{
+    auto a = encrypt(vec(17), 1);
+    auto hoisted = eval->hoistedRotate(a, {1, 2});
+    close(decrypt(hoisted[0]), decrypt(eval->rotate(a, 1)), 1e-5);
+    close(decrypt(hoisted[1]), decrypt(eval->rotate(a, 2)), 1e-5);
+}
+
+TEST_P(PropertyTest, DepthExhaustionStaysAccurate)
+{
+    // Multiply down to level 0; relative error stays bounded.
+    std::vector<std::complex<double>> z(slots(), {0.95, 0.0});
+    auto a = encrypt(z, ctx->maxLevel());
+    double expect = 0.95;
+    for (u32 l = ctx->maxLevel(); l > 0; --l) {
+        a = eval->square(a);
+        eval->rescaleInPlace(a);
+        expect *= expect;
+    }
+    auto got = decrypt(a);
+    ASSERT_NEAR(got[0].real(), expect, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PropertyTest,
+    ::testing::Values(ParamShape{10, 3, 30, 1},
+                      ParamShape{10, 4, 36, 2},
+                      ParamShape{11, 6, 40, 3},
+                      ParamShape{12, 5, 45, 2},
+                      ParamShape{11, 8, 36, 4}),
+    [](const ::testing::TestParamInfo<ParamShape> &info) {
+        auto p = info.param;
+        return "logN" + std::to_string(p.logN) + "_L"
+             + std::to_string(p.depth) + "_dnum"
+             + std::to_string(p.dnum);
+    });
+
+} // namespace
+} // namespace fideslib::ckks

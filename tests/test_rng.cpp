@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the samplers: determinism under seeding, distribution
+ * sanity, and the sparse-secret Hamming weight contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace fideslib
+{
+namespace
+{
+
+TEST(Rng, SeedDeterminism)
+{
+    Prng a(42), b(42), c(43);
+    std::vector<u64> va(64), vb(64), vc(64);
+    sampleUniform(a, 1ULL << 50, va);
+    sampleUniform(b, 1ULL << 50, vb);
+    sampleUniform(c, 1ULL << 50, vc);
+    EXPECT_EQ(va, vb);
+    EXPECT_NE(va, vc);
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    Prng prng(1);
+    for (u64 bound : {2ULL, 3ULL, 1000ULL, (1ULL << 59) + 11}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(prng.uniform(bound), bound);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentred)
+{
+    Prng prng(2);
+    const u64 bound = 1ULL << 32;
+    double sum = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        sum += static_cast<double>(prng.uniform(bound));
+    double mean = sum / trials;
+    double expected = static_cast<double>(bound) / 2;
+    EXPECT_NEAR(mean / expected, 1.0, 0.02);
+}
+
+TEST(Rng, DenseTernaryValuesAndBalance)
+{
+    Prng prng(3);
+    std::vector<i64> s;
+    sampleTernary(prng, 8192, 0, s);
+    int counts[3] = {0, 0, 0};
+    for (i64 v : s) {
+        ASSERT_GE(v, -1);
+        ASSERT_LE(v, 1);
+        counts[v + 1]++;
+    }
+    // Each symbol ~1/3; allow generous tolerance.
+    for (int c : counts)
+        EXPECT_NEAR(c / 8192.0, 1.0 / 3.0, 0.05);
+}
+
+TEST(Rng, SparseTernaryExactWeight)
+{
+    Prng prng(4);
+    for (i64 h : {16, 64, 192}) {
+        std::vector<i64> s;
+        sampleTernary(prng, 4096, h, s);
+        i64 nonzero = std::count_if(s.begin(), s.end(),
+                                    [](i64 v) { return v != 0; });
+        EXPECT_EQ(nonzero, h);
+        for (i64 v : s)
+            ASSERT_LE(std::abs(v), 1);
+    }
+}
+
+TEST(Rng, GaussianMomentsMatchSigma)
+{
+    Prng prng(5);
+    std::vector<i64> e;
+    const double sigma = 3.19;
+    sampleGaussian(prng, 40000, sigma, e);
+    double sum = 0, sq = 0;
+    for (i64 v : e) {
+        sum += static_cast<double>(v);
+        sq += static_cast<double>(v) * v;
+    }
+    double mean = sum / e.size();
+    double var = sq / e.size() - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), sigma, 0.15);
+    // Tail bound: nothing should be beyond 8 sigma.
+    for (i64 v : e)
+        ASSERT_LT(std::abs(v), static_cast<i64>(8 * sigma) + 1);
+}
+
+} // namespace
+} // namespace fideslib
