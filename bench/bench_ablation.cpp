@@ -30,13 +30,13 @@ BM_RescaleFusion(benchmark::State &state)
     auto &b = bc();
     b.ctx->setFusion(state.range(0) != 0);
     auto ct = b.randomCiphertext(b.ctx->maxLevel());
-    Device::instance().resetCounters();
+    b.ctx->devices().resetCounters();
     for (auto _ : state) {
         auto r = ct.clone();
         b.eval->rescaleInPlace(r);
         benchmark::DoNotOptimize(r.c0.limb(0).data());
     }
-    reportPlatformModel(state, state.iterations());
+    reportPlatformModel(state, state.iterations(), b.ctx->devices());
     b.ctx->setFusion(true);
     state.SetLabel(state.range(0) ? "fusion-on" : "fusion-off");
 }
@@ -114,12 +114,12 @@ BM_DotProductFusion(benchmark::State &state)
         cp.push_back(&cts[i]);
         pp.push_back(&pts[i]);
     }
-    Device::instance().resetCounters();
+    b.ctx->devices().resetCounters();
     for (auto _ : state) {
         auto r = b.eval->dotPlain(cp, pp);
         benchmark::DoNotOptimize(r.c0.limb(0).data());
     }
-    reportPlatformModel(state, state.iterations());
+    reportPlatformModel(state, state.iterations(), b.ctx->devices());
     b.ctx->setFusion(true);
     state.SetLabel(state.range(0) ? "fused" : "unfused");
 }

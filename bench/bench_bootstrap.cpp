@@ -87,13 +87,13 @@ runBootstrap(benchmark::State &state, bool baselineSim)
         b.ctx->setModMulKind(ModMulKind::Naive);
     }
     u32 outLevel = 0;
-    Device::instance().resetCounters();
+    b.ctx->devices().resetCounters();
     for (auto _ : state) {
         auto fresh = s.boot->bootstrap(s.ct);
         outLevel = fresh.level();
         benchmark::DoNotOptimize(fresh.c0.limb(0).data());
     }
-    reportPlatformModel(state, state.iterations());
+    reportPlatformModel(state, state.iterations(), b.ctx->devices());
     if (baselineSim) {
         Parameters p = bootParams();
         b.ctx->setFusion(p.fusion);

@@ -108,14 +108,16 @@ cachedContext(const std::string &tag, const Parameters &p,
 
 /**
  * Attaches the roofline-modeled per-platform times (paper Table IV)
- * for the work recorded by the device counters during one iteration.
+ * for the work recorded by the device counters during one iteration,
+ * aggregated across every device in the set.
  */
 inline void
-reportPlatformModel(::benchmark::State &state, u64 iterations)
+reportPlatformModel(::benchmark::State &state, u64 iterations,
+                    const DeviceSet &devs)
 {
     if (iterations == 0)
         return;
-    const auto &counters = Device::instance().counters();
+    const KernelCounters counters = devs.aggregateCounters();
     KernelCounters per{counters.launches / iterations,
                        counters.bytesRead / iterations,
                        counters.bytesWritten / iterations,
@@ -126,6 +128,27 @@ reportPlatformModel(::benchmark::State &state, u64 iterations)
     }
     state.counters["kernel_launches"] =
         static_cast<double>(per.launches);
+}
+
+/**
+ * Attaches per-device launch/traffic counters, showing how evenly the
+ * round-robin stream schedule and the contiguous-block limb placement
+ * spread the work across a multi-device set.
+ */
+inline void
+reportPerDeviceCounters(::benchmark::State &state, u64 iterations,
+                        const DeviceSet &devs)
+{
+    if (iterations == 0)
+        return;
+    for (u32 d = 0; d < devs.numDevices(); ++d) {
+        const KernelCounters c = devs.device(d).counters();
+        const std::string tag = "dev" + std::to_string(d);
+        state.counters[tag + "_launches"] =
+            static_cast<double>(c.launches / iterations);
+        state.counters[tag + "_MB"] = static_cast<double>(
+            (c.bytesRead + c.bytesWritten) / iterations) / 1e6;
+    }
 }
 
 } // namespace fideslib::bench

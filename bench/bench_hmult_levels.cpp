@@ -22,12 +22,12 @@ BM_HMultAtLevel(benchmark::State &state)
     const u32 level = static_cast<u32>(state.range(0));
     auto a = b.randomCiphertext(level);
     auto c = b.randomCiphertext(level);
-    Device::instance().resetCounters();
+    b.ctx->devices().resetCounters();
     for (auto _ : state) {
         auto r = b.eval->multiply(a, c);
         benchmark::DoNotOptimize(r.c0.limb(0).data());
     }
-    reportPlatformModel(state, state.iterations());
+    reportPlatformModel(state, state.iterations(), b.ctx->devices());
     state.counters["limbs"] = level + 1;
     state.counters["digits"] = b.ctx->numDigits(level);
 }

@@ -41,12 +41,12 @@ BM_HMultParamSet(benchmark::State &state)
     const u32 L = b.ctx->maxLevel();
     auto a = b.randomCiphertext(L);
     auto c = b.randomCiphertext(L);
-    Device::instance().resetCounters();
+    b.ctx->devices().resetCounters();
     for (auto _ : state) {
         auto r = b.eval->multiply(a, c);
         benchmark::DoNotOptimize(r.c0.limb(0).data());
     }
-    reportPlatformModel(state, state.iterations());
+    reportPlatformModel(state, state.iterations(), b.ctx->devices());
     // Key-switching key size: dnum digit pairs over Q*P.
     double limbs = (L + 1 + b.ctx->numSpecial());
     double mb = 2.0 * p.dnum * limbs * p.ringDegree() * 8.0 / 1e6;

@@ -8,7 +8,17 @@
  * trade-off measurable on the host; the per-platform roofline model
  * reproduces the paper's observation that higher-throughput GPUs peak
  * at larger batch sizes.
+ *
+ * Execution topology is selectable from the command line:
+ *
+ *   bench_limb_batch --devices 2 --streams 4
+ *
+ * shards the RNS limbs over two simulated devices and dispatches the
+ * limb batches round-robin over four streams; per-device launch and
+ * traffic counters are reported alongside the aggregate model.
  */
+
+#include <cstring>
 
 #include "bench_common.hpp"
 
@@ -18,26 +28,103 @@ namespace
 using namespace fideslib;
 using namespace fideslib::bench;
 
+u32 gDevices = 1;
+u32 gStreams = 1; //!< total streams across all devices
+
+Parameters
+topologyParams()
+{
+    Parameters p = benchParams();
+    p.numDevices = gDevices;
+    p.streamsPerDevice = std::max(1u, gStreams / gDevices);
+    return p;
+}
+
+std::string
+topologyTag()
+{
+    return "fig7_d" + std::to_string(gDevices) + "_s" +
+           std::to_string(gStreams);
+}
+
 void
 BM_HMultLimbBatch(benchmark::State &state)
 {
-    auto &b = cachedContext("fig7", benchParams(), {1});
+    auto &b = cachedContext(topologyTag(), topologyParams(), {1});
     const u32 batch = static_cast<u32>(state.range(0));
     const u32 L = b.ctx->maxLevel();
     auto a = b.randomCiphertext(L);
     auto c = b.randomCiphertext(L);
 
     b.ctx->setLimbBatch(batch);
-    Device::instance().setLaunchOverheadNs(2000);
-    Device::instance().resetCounters();
+    b.ctx->devices().setLaunchOverheadNs(2000);
+    b.ctx->devices().resetCounters();
     for (auto _ : state) {
         auto r = b.eval->multiply(a, c);
         benchmark::DoNotOptimize(r.c0.limb(0).data());
     }
-    reportPlatformModel(state, state.iterations());
-    Device::instance().setLaunchOverheadNs(0);
+    reportPlatformModel(state, state.iterations(), b.ctx->devices());
+    reportPerDeviceCounters(state, state.iterations(),
+                            b.ctx->devices());
+    b.ctx->devices().setLaunchOverheadNs(0);
     b.ctx->setLimbBatch(benchParams().limbBatch);
     state.counters["limb_batch"] = batch;
+    state.counters["devices"] = gDevices;
+    state.counters["streams"] = gStreams;
+}
+
+/**
+ * Strips "--devices N"/"--streams N" (and the "=N" forms) from argv
+ * before Google Benchmark sees, and rejects, unknown flags.
+ */
+void
+parseTopologyFlags(int &argc, char **argv)
+{
+    auto match = [](const char *arg, const char *name,
+                    const char *&value) {
+        std::size_t len = std::strlen(name);
+        if (std::strncmp(arg, name, len) != 0)
+            return false;
+        if (arg[len] == '=') {
+            value = arg + len + 1;
+            return true;
+        }
+        if (arg[len] == '\0') {
+            value = nullptr;
+            return true;
+        }
+        return false;
+    };
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *flag = argv[i];
+        const char *value = nullptr;
+        u32 *target = nullptr;
+        if (match(flag, "--devices", value))
+            target = &gDevices;
+        else if (match(flag, "--streams", value))
+            target = &gStreams;
+        if (!target) {
+            argv[out++] = argv[i];
+            continue;
+        }
+        if (!value && i + 1 < argc)
+            value = argv[++i];
+        if (!value || std::atoi(value) < 1)
+            fideslib::fatal("%.9s requires a positive integer", flag);
+        *target = static_cast<u32>(std::atoi(value));
+    }
+    argc = out;
+    // The topology is devices x streamsPerDevice, so the effective
+    // total stream count is rounded to a multiple of the device
+    // count; report the value that actually runs.
+    const u32 requested = gStreams;
+    gStreams = gDevices * std::max(1u, gStreams / gDevices);
+    if (gStreams != requested) {
+        fideslib::warn("--streams %u rounded to %u (%u per device)",
+                       requested, gStreams, gStreams / gDevices);
+    }
 }
 
 } // namespace
@@ -46,4 +133,14 @@ BENCHMARK(BM_HMultLimbBatch)
     ->DenseRange(2, 12, 2)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    parseTopologyFlags(argc, argv);
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}

@@ -67,7 +67,7 @@ configure(Backend be)
         (void)ct2;                                                     \
         (void)pt;                                                      \
         configure(be);                                                 \
-        Device::instance().resetCounters();                            \
+        b.ctx->devices().resetCounters();                            \
         if (be == kOpenFheSim) {                                       \
             for (auto _ : state) {                                     \
                 REF_BODY;                                              \
@@ -76,7 +76,7 @@ configure(Backend be)
             for (auto _ : state) {                                     \
                 OPT_BODY;                                              \
             }                                                          \
-            reportPlatformModel(state, state.iterations());            \
+            reportPlatformModel(state, state.iterations(), b.ctx->devices());            \
         }                                                              \
         configure(kFideslib);                                          \
         state.SetLabel(kBackendNames[be]);                             \

@@ -23,14 +23,14 @@ BM_PtMultRescale(benchmark::State &state)
     const u32 level = static_cast<u32>(state.range(0));
     auto ct = b.randomCiphertext(level);
     auto pt = b.randomPlaintext(level);
-    Device::instance().resetCounters();
+    b.ctx->devices().resetCounters();
     for (auto _ : state) {
         auto r = ct.clone();
         b.eval->multiplyPlainInPlace(r, pt);
         b.eval->rescaleInPlace(r);
         benchmark::DoNotOptimize(r.c0.limb(0).data());
     }
-    reportPlatformModel(state, state.iterations());
+    reportPlatformModel(state, state.iterations(), b.ctx->devices());
     state.counters["limbs"] = level + 1;
 }
 

@@ -14,6 +14,30 @@ namespace
 constexpr std::size_t kConvBlock = 512; //!< coefficient tile size
 constexpr u64 kWord = sizeof(u64);
 
+/**
+ * Accounts a base-conversion launch on each device that owns target
+ * limbs: every device reads all the (peer-accessible) source limbs
+ * and produces its own share of the targets, matching the paper's
+ * multi-GPU partitioning of the Conv matrix product. With one device
+ * this is a single launch, as in the released configuration.
+ */
+void
+accountConvertLaunch(const Context &ctx, std::size_t numSrc,
+                     const std::vector<u32> &targetIdx, std::size_t n)
+{
+    DeviceSet &devs = ctx.devices();
+    for (u32 d = 0; d < devs.numDevices(); ++d) {
+        u64 cnt = 0;
+        for (u32 gi : targetIdx)
+            if (ctx.deviceFor(gi).id() == d)
+                ++cnt;
+        if (cnt) {
+            devs.device(d).launch(numSrc * n * kWord, cnt * n * kWord,
+                                  cnt * n * (2 * numSrc + 2));
+        }
+    }
+}
+
 } // namespace
 
 void
@@ -86,10 +110,9 @@ modUpDigit(const RNSPoly &coeffPoly, u32 digit)
         dst.push_back(out.limb(pos).data());
     }
 
-    // One launch for the conversion matrix product (compute bound).
-    Device::instance().launch(
-        src.size() * n * kWord, dst.size() * n * kWord,
-        dst.size() * n * (2 * src.size() + 2));
+    // One launch per involved device for the conversion matrix
+    // product (compute bound).
+    accountConvertLaunch(ctx, src.size(), tables.targetIdx, n);
     convert(ctx, src, tables, dst);
 
     kernels::toEval(out);
@@ -115,6 +138,8 @@ modDown(RNSPoly &a)
             kernels::inttLimb(ctx, a.limb(level + 1 + k).data(),
                               ctx.specialIdx(k));
         }
+    }, [&](std::size_t k) {
+        return ctx.specialIdx(static_cast<u32>(k));
     });
 
     // Convert [x]_P into the Q_l basis (coeff form).
@@ -126,8 +151,7 @@ modDown(RNSPoly &a)
     std::vector<u64 *> dst;
     for (u32 i = 0; i <= level; ++i)
         dst.push_back(tmp[i].data());
-    Device::instance().launch(K * n * kWord, (level + 1) * n * kWord,
-                              (level + 1) * n * (2 * K + 2));
+    accountConvertLaunch(ctx, K, tables.targetIdx, n);
     convert(ctx, src, tables, dst);
 
     // Fused epilogue (paper III-F5, ModDown fusion): per q-limb,
@@ -151,7 +175,7 @@ modDown(RNSPoly &a)
                                  static_cast<u32>(i));
                 epilogue(i);
             }
-        });
+        }, [](std::size_t i) { return static_cast<u32>(i); });
     } else {
         kernels::forBatches(ctx, level + 1, 2 * n * kWord,
                             2 * n * kWord, 5 * n * ctx.logDegree(),
@@ -159,13 +183,13 @@ modDown(RNSPoly &a)
             for (std::size_t i = lo; i < hi; ++i)
                 kernels::nttLimb(ctx, tmp[i].data(),
                                  static_cast<u32>(i));
-        });
+        }, [](std::size_t i) { return static_cast<u32>(i); });
         kernels::forBatches(ctx, level + 1, 2 * n * kWord, n * kWord,
                             4 * n,
                             [&](std::size_t lo, std::size_t hi) {
             for (std::size_t i = lo; i < hi; ++i)
                 epilogue(i);
-        });
+        }, [](std::size_t i) { return static_cast<u32>(i); });
     }
 
     a.dropSpecialLimbs();
@@ -185,8 +209,8 @@ rescale(RNSPoly &a)
     // iNTT the dropped limb.
     std::vector<u64> last(n);
     std::memcpy(last.data(), a.limb(l).data(), n * sizeof(u64));
-    Device::instance().launch(2 * n * kWord, 2 * n * kWord,
-                              5 * n * ctx.logDegree());
+    ctx.deviceFor(l).launch(2 * n * kWord, 2 * n * kWord,
+                            5 * n * ctx.logDegree());
     kernels::inttLimb(ctx, last.data(), l);
 
     // Fused path (paper Rescale fusion): one kernel per limb batch
@@ -197,10 +221,11 @@ rescale(RNSPoly &a)
     // without fusion support.
     const bool fused = ctx.fusionEnabled();
     if (fused) {
-        std::vector<u64> tmp(n);
         kernels::forBatches(ctx, l, 3 * n * kWord, n * kWord,
                             5 * n * ctx.logDegree() + 6 * n,
                             [&](std::size_t lo, std::size_t hi) {
+            // Per-batch scratch: batches run on concurrent streams.
+            std::vector<u64> tmp(n);
             for (std::size_t i = lo; i < hi; ++i) {
                 kernels::switchModulusLimb(ctx, last.data(), ql,
                                            tmp.data(),
@@ -216,7 +241,7 @@ rescale(RNSPoly &a)
                                        p);
                 }
             }
-        });
+        }, [](std::size_t i) { return static_cast<u32>(i); });
     } else {
         std::vector<std::vector<u64>> tmp(l, std::vector<u64>(n));
         kernels::forBatches(ctx, l, n * kWord, n * kWord, 2 * n,
@@ -226,14 +251,14 @@ rescale(RNSPoly &a)
                                            tmp[i].data(),
                                            static_cast<u32>(i));
             }
-        });
+        }, [](std::size_t i) { return static_cast<u32>(i); });
         kernels::forBatches(ctx, l, 2 * n * kWord, 2 * n * kWord,
                             5 * n * ctx.logDegree(),
                             [&](std::size_t lo, std::size_t hi) {
             for (std::size_t i = lo; i < hi; ++i)
                 kernels::nttLimb(ctx, tmp[i].data(),
                                  static_cast<u32>(i));
-        });
+        }, [](std::size_t i) { return static_cast<u32>(i); });
         kernels::forBatches(ctx, l, 2 * n * kWord, n * kWord, 6 * n,
                             [&](std::size_t lo, std::size_t hi) {
             for (std::size_t i = lo; i < hi; ++i) {
@@ -247,7 +272,7 @@ rescale(RNSPoly &a)
                                        p);
                 }
             }
-        });
+        }, [](std::size_t i) { return static_cast<u32>(i); });
     }
 
     a.dropLimb();
@@ -271,7 +296,7 @@ modRaise(const RNSPoly &a, u32 newLevel)
                                        out.limb(i + 1).data(),
                                        static_cast<u32>(i + 1));
         }
-    });
+    }, [](std::size_t i) { return static_cast<u32>(i + 1); });
     return out;
 }
 

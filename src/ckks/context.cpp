@@ -39,6 +39,11 @@ Context::Context(const Parameters &params)
       modMul_(params.modMul)
 {
     params_.validate();
+    // After validate(): bad topology values are user errors, not
+    // DeviceSet invariant violations.
+    devices_ = std::make_unique<DeviceSet>(params_.numDevices,
+                                           params_.streamsPerDevice,
+                                           params_.launchOverheadNs);
     generatePrimeChain();
     buildConvTables();
     crt_.resize(params_.multDepth + 1);

@@ -19,6 +19,7 @@
 
 #include "ckks/parameters.hpp"
 #include "core/bigint.hpp"
+#include "core/device.hpp"
 #include "core/modarith.hpp"
 #include "core/ntt.hpp"
 #include "core/rng.hpp"
@@ -142,6 +143,30 @@ class Context
     /** Deterministic context-wide randomness source. */
     Prng &prng() const { return prng_; }
 
+    // Execution topology. ----------------------------------------------
+    /**
+     * The simulated devices and streams this context executes on. The
+     * set is execution state, not logical context state, so kernels
+     * holding a `const Context &` may still launch work on it.
+     */
+    DeviceSet &devices() const { return *devices_; }
+    /**
+     * Placement policy: the device owning global prime @p primeIdx.
+     * The RNS base is split into contiguous blocks, one per device
+     * (the paper's multi-GPU partitioning); matching limbs of two
+     * polynomials therefore always land on the same device, and limb
+     * batches over consecutive positions rarely cross a device
+     * boundary.
+     */
+    Device &deviceFor(u32 primeIdx) const
+    {
+        const u32 total = params_.multDepth + 1 + numSpecial_;
+        const u32 nd = devices_->numDevices();
+        u32 d = static_cast<u32>(
+            (static_cast<u64>(primeIdx) * nd) / total);
+        return devices_->device(d < nd ? d : nd - 1);
+    }
+
     // Backend execution configuration (mutable for the benches). ------
     u32 limbBatch() const { return limbBatch_; }
     void setLimbBatch(u32 b) { limbBatch_ = b; }
@@ -161,6 +186,7 @@ class Context
     void buildConvTables();
 
     Parameters params_;
+    std::unique_ptr<DeviceSet> devices_;
     std::size_t n_;
     u32 alpha_;
     u32 numSpecial_;

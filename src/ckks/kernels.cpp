@@ -45,19 +45,73 @@ void
 forBatches(const Context &ctx, std::size_t numLimbs,
            u64 bytesReadPerLimb, u64 bytesWrittenPerLimb,
            u64 intOpsPerLimb,
-           const std::function<void(std::size_t, std::size_t)> &fn)
+           const std::function<void(std::size_t, std::size_t)> &fn,
+           const std::function<u32(std::size_t)> &primeAt)
 {
+    if (numLimbs == 0)
+        return;
     std::size_t batch = ctx.limbBatch() == 0 ? numLimbs : ctx.limbBatch();
     if (batch == 0)
         batch = 1;
-    auto &dev = Device::instance();
-    for (std::size_t lo = 0; lo < numLimbs; lo += batch) {
-        std::size_t hi = std::min(numLimbs, lo + batch);
-        dev.launch((hi - lo) * bytesReadPerLimb,
-                   (hi - lo) * bytesWrittenPerLimb,
-                   (hi - lo) * intOpsPerLimb);
-        fn(lo, hi);
+    DeviceSet &devs = ctx.devices();
+    const u32 numStreams = devs.numStreams();
+
+    // Launch accounting and the simulated CPU-side launch overhead
+    // are paid on the submitting thread, in submission order, exactly
+    // as a CUDA launch would. Batches touch disjoint limb ranges, so
+    // they execute concurrently; the logical kernel completes at the
+    // barrier, giving callers in-order semantics at kernel joins.
+    auto launchOn = [&](Stream &st, std::size_t lo, std::size_t hi,
+                        bool inline_) {
+        st.device().launch((hi - lo) * bytesReadPerLimb,
+                           (hi - lo) * bytesWrittenPerLimb,
+                           (hi - lo) * intOpsPerLimb);
+        if (inline_)
+            fn(lo, hi);
+        else
+            st.submit([&fn, lo, hi] { fn(lo, hi); });
+    };
+
+    if (primeAt && devs.numDevices() > 1) {
+        // Ownership-aware dispatch: split each batch at device
+        // boundaries (rare, since placement is contiguous blocks of
+        // the RNS base) and run every piece on a stream of the device
+        // that owns its limbs, so work is accounted where the data
+        // lives and kernels never touch a peer device's memory.
+        std::vector<u32> rr(devs.numDevices(), 0);
+        for (std::size_t lo = 0; lo < numLimbs; lo += batch) {
+            const std::size_t hi = std::min(numLimbs, lo + batch);
+            std::size_t sub = lo;
+            while (sub < hi) {
+                const u32 d = ctx.deviceFor(primeAt(sub)).id();
+                std::size_t end = sub + 1;
+                while (end < hi && ctx.deviceFor(primeAt(end)).id() == d)
+                    ++end;
+                // numDevices > 1 implies at least two streams.
+                launchOn(devs.streamOfDevice(d, rr[d]++), sub, end,
+                         /*inline_=*/false);
+                sub = end;
+            }
+        }
+    } else if (numStreams == 1) {
+        // A single stream is in-order by construction: run the
+        // batches eagerly on the submitting thread.
+        for (std::size_t lo = 0; lo < numLimbs; lo += batch) {
+            std::size_t hi = std::min(numLimbs, lo + batch);
+            launchOn(devs.stream(0), lo, hi, /*inline_=*/true);
+        }
+        return;
+    } else {
+        // Shape-free fallback: round-robin over all streams.
+        u32 next = 0;
+        for (std::size_t lo = 0; lo < numLimbs; lo += batch) {
+            std::size_t hi = std::min(numLimbs, lo + batch);
+            Stream &st = devs.stream(next);
+            next = (next + 1) % numStreams;
+            launchOn(st, lo, hi, /*inline_=*/false);
+        }
     }
+    devs.synchronize();
 }
 
 void
@@ -76,7 +130,7 @@ addInto(RNSPoly &a, const RNSPoly &b)
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = addMod(x[j], y[j], p);
         }
-    });
+    }, [&](std::size_t i) { return a.primeIdxAt(i); });
 }
 
 void
@@ -95,7 +149,7 @@ subInto(RNSPoly &a, const RNSPoly &b)
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = subMod(x[j], y[j], p);
         }
-    });
+    }, [&](std::size_t i) { return a.primeIdxAt(i); });
 }
 
 void
@@ -111,7 +165,7 @@ negate(RNSPoly &a)
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = negMod(x[j], p);
         }
-    });
+    }, [&](std::size_t i) { return a.primeIdxAt(i); });
 }
 
 void
@@ -130,7 +184,7 @@ mulInto(RNSPoly &a, const RNSPoly &b)
             mulSpan(ctx, a.limb(i).data(), a.limb(i).data(),
                     b.limb(i).data(), n, m);
         }
-    });
+    }, [&](std::size_t i) { return a.primeIdxAt(i); });
 }
 
 void
@@ -150,7 +204,7 @@ mul(RNSPoly &out, const RNSPoly &a, const RNSPoly &b)
             mulSpan(ctx, out.limb(i).data(), a.limb(i).data(),
                     b.limb(i).data(), n, m);
         }
-    });
+    }, [&](std::size_t i) { return out.primeIdxAt(i); });
 }
 
 void
@@ -169,7 +223,7 @@ mulAddInto(RNSPoly &acc, const RNSPoly &a, const RNSPoly &b)
             mulAddSpan(ctx, acc.limb(i).data(), a.limb(i).data(),
                        b.limb(i).data(), n, m);
         }
-    });
+    }, [&](std::size_t i) { return acc.primeIdxAt(i); });
 }
 
 void
@@ -188,7 +242,7 @@ scalarMulInto(RNSPoly &a, const std::vector<u64> &scalar)
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = mulModShoup(x[j], w, ws, p);
         }
-    });
+    }, [&](std::size_t i) { return a.primeIdxAt(i); });
 }
 
 void
@@ -206,7 +260,7 @@ scalarAddInto(RNSPoly &a, const std::vector<u64> &scalar)
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = addMod(x[j], c, p);
         }
-    });
+    }, [&](std::size_t i) { return a.primeIdxAt(i); });
 }
 
 void
@@ -224,7 +278,7 @@ scalarSubFrom(RNSPoly &a, const std::vector<u64> &scalar)
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = subMod(c, x[j], p);
         }
-    });
+    }, [&](std::size_t i) { return a.primeIdxAt(i); });
 }
 
 void
@@ -275,7 +329,7 @@ toEval(RNSPoly &a)
                [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
             nttLimb(ctx, a.limb(i).data(), a.primeIdxAt(i));
-    });
+    }, [&](std::size_t i) { return a.primeIdxAt(i); });
     a.setFormat(Format::Eval);
 }
 
@@ -292,7 +346,7 @@ toCoeff(RNSPoly &a)
                [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
             inttLimb(ctx, a.limb(i).data(), a.primeIdxAt(i));
-    });
+    }, [&](std::size_t i) { return a.primeIdxAt(i); });
     a.setFormat(Format::Coeff);
 }
 
@@ -312,7 +366,7 @@ automorph(RNSPoly &out, const RNSPoly &in, const std::vector<u32> &perm)
             for (std::size_t j = 0; j < n; ++j)
                 dst[j] = src[perm[j]];
         }
-    });
+    }, [&](std::size_t i) { return in.primeIdxAt(i); });
 }
 
 void
@@ -339,7 +393,7 @@ mulByMonomial(RNSPoly &a, u64 k)
             }
             std::copy(tmp.begin(), tmp.end(), x);
         }
-    });
+    }, [&](std::size_t i) { return a.primeIdxAt(i); });
 }
 
 void

@@ -22,12 +22,26 @@ namespace fideslib::ckks::kernels
 /**
  * Runs @p fn(limbLo, limbHi) over [0, numLimbs) in batches of the
  * context's limb-batch size, accounting one kernel launch per batch
- * with the given per-limb traffic estimates.
+ * with the given per-limb traffic estimates. Batches are dispatched
+ * round-robin onto the context's streams and run concurrently (they
+ * must touch disjoint state); the call returns only after every batch
+ * has retired, so each logical kernel is a synchronization barrier.
+ * With a single stream the batches run inline, bit-identically to the
+ * multi-stream schedule.
+ *
+ * @p primeAt maps a limb position to its global prime index. When
+ * provided (every kernel that iterates a polynomial's limbs does),
+ * batches are split at device boundaries and each piece is launched
+ * on a stream of the device that owns its limbs, so work is accounted
+ * where the data lives and no simulated kernel ever touches a peer
+ * device's memory. Without it (shape-free helpers, microbenches)
+ * batches round-robin over all streams.
  */
 void forBatches(const Context &ctx, std::size_t numLimbs,
                 u64 bytesReadPerLimb, u64 bytesWrittenPerLimb,
                 u64 intOpsPerLimb,
-                const std::function<void(std::size_t, std::size_t)> &fn);
+                const std::function<void(std::size_t, std::size_t)> &fn,
+                const std::function<u32(std::size_t)> &primeAt = {});
 
 // --- element-wise ring operations (any format, matching limbs) -------
 

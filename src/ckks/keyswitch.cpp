@@ -56,7 +56,7 @@ mulAddMapped(RNSPoly &acc, const RNSPoly &src, const RNSPoly &keyPoly,
                 }
             }
         }
-    });
+    }, [&](std::size_t i) { return acc.primeIdxAt(i); });
 }
 
 } // namespace

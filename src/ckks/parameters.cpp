@@ -23,6 +23,10 @@ Parameters::validate() const
     if (secretHammingWeight < 0 ||
         secretHammingWeight > static_cast<i64>(ringDegree()))
         fatal("invalid secret Hamming weight");
+    if (numDevices == 0)
+        fatal("numDevices must be at least 1");
+    if (streamsPerDevice == 0)
+        fatal("streamsPerDevice must be at least 1");
 }
 
 Parameters

@@ -47,6 +47,13 @@ struct Parameters
     ModMulKind modMul = ModMulKind::Barrett;
     u64 launchOverheadNs = 0; //!< simulated kernel-launch cost
 
+    // Execution topology: the RNS base is sharded in contiguous
+    // blocks across numDevices simulated devices, and kernel limb
+    // batches are dispatched onto numDevices * streamsPerDevice
+    // concurrent streams (Section III-B multi-GPU partitioning).
+    u32 numDevices = 1;       //!< simulated devices in the DeviceSet
+    u32 streamsPerDevice = 1; //!< concurrent streams per device
+
     u64 ringDegree() const { return 1ULL << logN; }
     u64 scale() const { return 1ULL << logDelta; }
     /** alpha: limbs per key-switching digit. */

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "ckks/kernels.hpp"
 #include "core/logging.hpp"
 
 namespace fideslib::ckks
@@ -23,10 +24,16 @@ RNSPoly
 RNSPoly::clone() const
 {
     RNSPoly c(*ctx_, level_, format_, special_);
-    for (std::size_t i = 0; i < part_.size(); ++i) {
-        std::memcpy(c.part_[i].data(), part_[i].data(),
-                    part_[i].size() * sizeof(u64));
-    }
+    // Device-to-device copy: batched and accounted like any kernel.
+    const std::size_t n = ctx_->degree();
+    kernels::forBatches(*ctx_, part_.size(), n * sizeof(u64),
+                        n * sizeof(u64), 0,
+                        [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            std::memcpy(c.part_[i].data(), part_[i].data(),
+                        part_[i].size() * sizeof(u64));
+        }
+    }, [&](std::size_t i) { return part_[i].primeIdx(); });
     return c;
 }
 

@@ -7,9 +7,11 @@
  * An RNSPoly is an N-degree polynomial decomposed over the RNS base
  * B = {q_0 ... q_l} (plus, transiently, the P extension limbs during
  * key switching). Each Limb stores the polynomial modulo one prime as
- * a device buffer; a LimbPartition groups the limbs that live on one
- * device (single-GPU in this version, matching the paper's released
- * configuration).
+ * a device buffer allocated from the device that owns the prime; a
+ * LimbPartition holds a polynomial's limbs, sharded in contiguous
+ * blocks of the RNS base across the context's devices (Section III-B
+ * multi-GPU partitioning -- with one device, this degenerates to the
+ * paper's released single-GPU configuration).
  */
 
 #pragma once
@@ -25,38 +27,38 @@ namespace fideslib::ckks
 /** Domain of the stored values. */
 enum class Format { Coeff, Eval };
 
-/** One residue polynomial: N coefficients modulo one prime. */
+/**
+ * One residue polynomial: N coefficients modulo one prime, resident
+ * on the device the context's placement policy assigns to that prime.
+ */
 class Limb
 {
   public:
     Limb(const Context &ctx, u32 primeIdx)
-        : data_(ctx.degree()), primeIdx_(primeIdx)
+        : dev_(&ctx.deviceFor(primeIdx)),
+          data_(ctx.degree(), *dev_),
+          primeIdx_(primeIdx)
     {}
 
     u64 *data() { return data_.data(); }
     const u64 *data() const { return data_.data(); }
     std::size_t size() const { return data_.size(); }
     u32 primeIdx() const { return primeIdx_; }
-
-    Limb clone(const Context &ctx) const
-    {
-        Limb c(ctx, primeIdx_);
-        std::copy(data(), data() + size(), c.data());
-        return c;
-    }
+    Device &device() const { return *dev_; }
 
   private:
+    Device *dev_;
     DeviceVector<u64> data_;
     u32 primeIdx_;
 };
 
-/** The limbs of one polynomial resident on a single device. */
+/**
+ * The limbs of one polynomial, sharded over the context's devices by
+ * the block placement policy (each Limb records its owner).
+ */
 class LimbPartition
 {
   public:
-    explicit LimbPartition(int deviceId = 0) : deviceId_(deviceId) {}
-
-    int deviceId() const { return deviceId_; }
     std::size_t size() const { return limbs_.size(); }
     Limb &operator[](std::size_t i) { return limbs_[i]; }
     const Limb &operator[](std::size_t i) const { return limbs_[i]; }
@@ -65,9 +67,19 @@ class LimbPartition
     void pop() { limbs_.pop_back(); }
     void clear() { limbs_.clear(); }
 
+    /** Number of limbs resident on device @p deviceId. */
+    std::size_t
+    numOnDevice(u32 deviceId) const
+    {
+        std::size_t count = 0;
+        for (const Limb &l : limbs_)
+            if (l.device().id() == deviceId)
+                ++count;
+        return count;
+    }
+
   private:
     std::vector<Limb> limbs_;
-    int deviceId_;
 };
 
 /**

@@ -31,14 +31,21 @@ platformTable()
     return table;
 }
 
+// --- MemPool ---------------------------------------------------------------
+
 MemPool::~MemPool()
 {
+    // Every DeviceVector must have been destroyed before its pool:
+    // devices live in the Context's DeviceSet, so polynomials cannot
+    // outlive the Context they were created under.
+    FIDES_ASSERT(bytesInUse_ == 0);
     trim();
 }
 
 void *
 MemPool::allocate(std::size_t bytes)
 {
+    std::lock_guard<std::mutex> lock(m_);
     ++allocCalls_;
     bytesInUse_ += bytes;
     bytesPeak_ = std::max(bytesPeak_, bytesInUse_);
@@ -58,16 +65,25 @@ MemPool::allocate(std::size_t bytes)
 void
 MemPool::release(void *ptr, std::size_t bytes)
 {
+    std::lock_guard<std::mutex> lock(m_);
+    FIDES_ASSERT(bytesInUse_ >= bytes);
     bytesInUse_ -= bytes;
     bytesCached_ += bytes;
     freeLists_[bytes].push_back(ptr);
     // Keep the cache bounded (4 GiB) so long sweeps do not hoard RAM.
     if (bytesCached_ > (4ULL << 30))
-        trim();
+        trimLocked();
 }
 
 void
 MemPool::trim()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    trimLocked();
+}
+
+void
+MemPool::trimLocked()
 {
     for (auto &[sz, list] : freeLists_) {
         for (void *p : list)
@@ -77,25 +93,179 @@ MemPool::trim()
     }
 }
 
+u64
+MemPool::bytesInUse() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return bytesInUse_;
+}
+
+u64
+MemPool::bytesPeak() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return bytesPeak_;
+}
+
+u64
+MemPool::allocCalls() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return allocCalls_;
+}
+
+u64
+MemPool::poolHits() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return poolHits_;
+}
+
+// --- Device ----------------------------------------------------------------
+
 void
 Device::launch(u64 bytesRead, u64 bytesWritten, u64 intOps)
 {
-    ++counters_.launches;
-    counters_.bytesRead += bytesRead;
-    counters_.bytesWritten += bytesWritten;
-    counters_.intOps += intOps;
+    {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        ++counters_.launches;
+        counters_.bytesRead += bytesRead;
+        counters_.bytesWritten += bytesWritten;
+        counters_.intOps += intOps;
+    }
     if (launchOverheadNs_)
         spinNs(launchOverheadNs_);
 }
 
-Device &
-Device::instance()
+KernelCounters
+Device::counters() const
 {
-    // Intentionally leaked: DeviceVector destructors run from static
-    // teardown in arbitrary order, so the device must outlive every
-    // other static object (the OS reclaims the pool at exit).
-    static Device *device = new Device();
-    return *device;
+    std::lock_guard<std::mutex> lock(countersMutex_);
+    return counters_;
+}
+
+void
+Device::resetCounters()
+{
+    std::lock_guard<std::mutex> lock(countersMutex_);
+    counters_ = {};
+}
+
+// --- Stream ----------------------------------------------------------------
+
+Stream::~Stream()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    if (worker_.joinable())
+        worker_.join();
+}
+
+void
+Stream::submit(std::function<void()> task)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    FIDES_ASSERT(!stop_);
+    if (!worker_.joinable())
+        worker_ = std::thread(&Stream::workerLoop, this);
+    queue_.push_back(std::move(task));
+    ++inFlight_;
+    wake_.notify_one();
+}
+
+void
+Stream::synchronize()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    drained_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+Stream::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    for (;;) {
+        wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stop_)
+                return;
+            continue;
+        }
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        task();
+        lock.lock();
+        // inFlight_ counts queued plus executing tasks, so it only
+        // drops once the body has finished -- synchronize() cannot
+        // return while a kernel is still running.
+        --inFlight_;
+        if (inFlight_ == 0)
+            drained_.notify_all();
+    }
+}
+
+// --- DeviceSet -------------------------------------------------------------
+
+DeviceSet::DeviceSet(u32 numDevices, u32 streamsPerDevice,
+                     u64 launchOverheadNs)
+    : streamsPerDevice_(streamsPerDevice)
+{
+    FIDES_ASSERT(numDevices >= 1);
+    FIDES_ASSERT(streamsPerDevice >= 1);
+    devices_.reserve(numDevices);
+    for (u32 d = 0; d < numDevices; ++d) {
+        devices_.push_back(std::make_unique<Device>(d));
+        devices_.back()->setLaunchOverheadNs(launchOverheadNs);
+    }
+    // Interleave so round-robin over streams alternates devices.
+    const u32 total = numDevices * streamsPerDevice;
+    streams_.reserve(total);
+    for (u32 s = 0; s < total; ++s)
+        streams_.push_back(
+            std::make_unique<Stream>(*devices_[s % numDevices], s));
+}
+
+void
+DeviceSet::synchronize()
+{
+    for (auto &s : streams_)
+        s->synchronize();
+}
+
+KernelCounters
+DeviceSet::aggregateCounters() const
+{
+    KernelCounters total;
+    for (const auto &d : devices_)
+        total += d->counters();
+    return total;
+}
+
+void
+DeviceSet::resetCounters()
+{
+    for (auto &d : devices_)
+        d->resetCounters();
+}
+
+void
+DeviceSet::setLaunchOverheadNs(u64 ns)
+{
+    for (auto &d : devices_)
+        d->setLaunchOverheadNs(ns);
+}
+
+u64
+DeviceSet::bytesInUse() const
+{
+    u64 total = 0;
+    for (const auto &d : devices_)
+        total += d->pool().bytesInUse();
+    return total;
 }
 
 void

@@ -1,20 +1,35 @@
 /**
  * @file
- * Simulated GPU device substrate.
+ * Simulated GPU execution substrate: devices, streams, memory pools.
  *
  * The paper's backend targets CUDA: RAII device buffers allocated from
  * the stream-ordered memory pool (`VectorGPU`), kernels launched on
- * CUDA streams, and a per-launch CPU overhead that motivates limb
- * batching. This container has no GPU, so the substrate is modelled:
+ * CUDA streams, RNS limbs partitioned across multiple GPUs, and a
+ * per-launch CPU overhead that motivates limb batching. This container
+ * has no GPU, so the substrate is modelled:
  *
  *  - MemPool      stream-ordered pool allocator (size-class free
- *                 lists, allocation statistics, peak tracking).
- *  - DeviceVector RAII buffer on the pool; also supports the paper's
- *                 "unmanaged" views into a flattened 2-D allocation.
- *  - Stream       in-order execution context; kernels run eagerly on
- *                 the host but each launch is accounted and can pay a
- *                 configurable simulated launch overhead (busy-wait),
- *                 reproducing the launch-bound regime of Figure 7.
+ *                 lists, allocation statistics, peak tracking). Guarded
+ *                 by a mutex so buffers can be created and released
+ *                 while kernels run on other streams.
+ *  - DeviceVector RAII buffer on a device's pool; also supports the
+ *                 paper's "unmanaged" views into a flattened 2-D
+ *                 allocation.
+ *  - Device       one simulated GPU: a pool, kernel counters, and the
+ *                 launch-overhead configuration. Instantiable -- a
+ *                 process may hold any number of devices; the library
+ *                 groups them in a DeviceSet owned by the Context.
+ *  - Stream       in-order execution queue backed by a worker thread;
+ *                 kernels submitted to distinct streams run
+ *                 concurrently. Launch accounting and the simulated
+ *                 CPU-side launch overhead (busy-wait, reproducing the
+ *                 launch-bound regime of Figure 7) are paid on the
+ *                 submitting thread, exactly like a real CUDA launch.
+ *  - DeviceSet    N devices plus their streams; provides round-robin
+ *                 stream selection (global and per-device), the
+ *                 kernel-boundary barrier, and per-device counter
+ *                 aggregation. The limb -> device placement policy
+ *                 lives on the Context (it depends on the RNS base).
  *  - KernelCounters / DeviceProfile
  *                 every kernel reports bytes touched and integer op
  *                 counts; a roofline model over the platform table
@@ -27,10 +42,16 @@
 
 #pragma once
 
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/common.hpp"
@@ -77,6 +98,12 @@ const std::vector<DeviceProfile> &platformTable();
  * Stream-ordered pool allocator. Frees go back to a size-class free
  * list and are recycled by later allocations, mirroring CUDA's
  * cudaMemPool_t behaviour that makes RAII device buffers cheap.
+ *
+ * Thread safe: buffers may be allocated and released from any thread
+ * while kernels execute on the device's streams. Destruction asserts
+ * that every allocation was returned (bytesInUse == 0), catching
+ * leaks the moment a pool's owner -- a Device inside a Context's
+ * DeviceSet -- is torn down.
  */
 class MemPool
 {
@@ -86,15 +113,18 @@ class MemPool
     void *allocate(std::size_t bytes);
     void release(void *ptr, std::size_t bytes);
 
-    u64 bytesInUse() const { return bytesInUse_; }
-    u64 bytesPeak() const { return bytesPeak_; }
-    u64 allocCalls() const { return allocCalls_; }
-    u64 poolHits() const { return poolHits_; }
+    u64 bytesInUse() const;
+    u64 bytesPeak() const;
+    u64 allocCalls() const;
+    u64 poolHits() const;
 
     /** Returns cached blocks to the host allocator. */
     void trim();
 
   private:
+    void trimLocked();
+
+    mutable std::mutex m_;
     std::map<std::size_t, std::vector<void *>> freeLists_;
     u64 bytesInUse_ = 0;
     u64 bytesPeak_ = 0;
@@ -104,16 +134,24 @@ class MemPool
 };
 
 /**
- * Simulated device: owns the memory pool, the kernel counters, and
- * the launch-overhead configuration.
+ * One simulated device: owns the memory pool, the kernel counters,
+ * and the launch-overhead configuration. Plain instantiable object --
+ * create as many as the topology needs (normally via DeviceSet).
  */
 class Device
 {
   public:
+    explicit Device(u32 id = 0) : id_(id) {}
+
+    Device(const Device &) = delete;
+    Device &operator=(const Device &) = delete;
+
+    u32 id() const { return id_; }
     MemPool &pool() { return pool_; }
-    KernelCounters &counters() { return counters_; }
-    const KernelCounters &counters() const { return counters_; }
-    void resetCounters() { counters_ = {}; }
+    const MemPool &pool() const { return pool_; }
+
+    KernelCounters counters() const;
+    void resetCounters();
 
     /** Simulated per-launch CPU overhead (0 disables the spin). */
     void setLaunchOverheadNs(u64 ns) { launchOverheadNs_ = ns; }
@@ -121,15 +159,15 @@ class Device
 
     /**
      * Accounts one kernel launch (bytes/ops) and pays the simulated
-     * launch overhead. Call before running the kernel body.
+     * CPU-side launch overhead. Called on the submitting thread,
+     * before the kernel body is handed to a stream.
      */
     void launch(u64 bytesRead, u64 bytesWritten, u64 intOps);
 
-    /** Process-wide device instance (one simulated GPU). */
-    static Device &instance();
-
   private:
+    u32 id_;
     MemPool pool_;
+    mutable std::mutex countersMutex_;
     KernelCounters counters_;
     u64 launchOverheadNs_ = 0;
 };
@@ -138,11 +176,108 @@ class Device
 void spinNs(u64 ns);
 
 /**
+ * An in-order execution stream bound to one device. Work submitted to
+ * a stream runs on its worker thread in submission order; work on
+ * distinct streams runs concurrently. synchronize() blocks the caller
+ * until every submitted task has retired (cudaStreamSynchronize).
+ *
+ * The worker thread is spawned lazily on the first submit, so a
+ * single-stream configuration that executes kernels inline (the
+ * fast path in kernels::forBatches) never pays for a thread.
+ */
+class Stream
+{
+  public:
+    Stream(Device &dev, u32 id) : dev_(&dev), id_(id) {}
+    ~Stream();
+
+    Stream(const Stream &) = delete;
+    Stream &operator=(const Stream &) = delete;
+
+    u32 id() const { return id_; }
+    Device &device() const { return *dev_; }
+
+    /** Enqueues @p task; returns immediately. */
+    void submit(std::function<void()> task);
+
+    /** Blocks until the queue is empty and the worker is idle. */
+    void synchronize();
+
+  private:
+    void workerLoop();
+
+    Device *dev_;
+    u32 id_;
+    std::thread worker_;
+    std::mutex m_;
+    std::condition_variable wake_;
+    std::condition_variable drained_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t inFlight_ = 0; //!< queued + currently executing
+    bool stop_ = false;
+};
+
+/**
+ * The process's execution topology: N simulated devices and S streams
+ * per device (the limb -> device placement policy lives on the
+ * Context, which knows the RNS base size). Provides the stream
+ * schedules used by kernels::forBatches: a global round-robin and a
+ * per-device round-robin for ownership-aware dispatch.
+ *
+ * Streams are interleaved across devices: stream i belongs to device
+ * i % N, so walking streams round-robin also balances the devices.
+ */
+class DeviceSet
+{
+  public:
+    explicit DeviceSet(u32 numDevices = 1, u32 streamsPerDevice = 1,
+                       u64 launchOverheadNs = 0);
+
+    DeviceSet(const DeviceSet &) = delete;
+    DeviceSet &operator=(const DeviceSet &) = delete;
+
+    u32 numDevices() const { return static_cast<u32>(devices_.size()); }
+    u32 numStreams() const { return static_cast<u32>(streams_.size()); }
+    u32 streamsPerDevice() const { return streamsPerDevice_; }
+
+    Device &device(u32 i) { return *devices_[i]; }
+    const Device &device(u32 i) const { return *devices_[i]; }
+    Stream &stream(u32 i) { return *streams_[i]; }
+
+    /** The k-th (mod S) stream bound to device @p deviceId. */
+    Stream &
+    streamOfDevice(u32 deviceId, u32 k)
+    {
+        return *streams_[deviceId +
+                         (k % streamsPerDevice_) * numDevices()];
+    }
+
+    /** Barrier: blocks until every stream on every device is idle. */
+    void synchronize();
+
+    /** Sum of the per-device kernel counters. */
+    KernelCounters aggregateCounters() const;
+    void resetCounters();
+    void setLaunchOverheadNs(u64 ns);
+
+    /** Total bytes currently allocated across all device pools. */
+    u64 bytesInUse() const;
+
+  private:
+    std::vector<std::unique_ptr<Device>> devices_;
+    std::vector<std::unique_ptr<Stream>> streams_;
+    u32 streamsPerDevice_ = 1;
+};
+
+/**
  * RAII device buffer, the stand-in for the paper's VectorGPU.
  *
- * Managed vectors own pool memory; unmanaged vectors wrap a caller-
- * provided pointer (the paper's flattened-2D-with-simulated-stack
- * pattern for short-lived, constant-sized RNS polynomials).
+ * Managed vectors own memory from one device's pool and remember the
+ * device so destruction releases to the right pool and clone()
+ * accounts its copy traffic as a device launch. Unmanaged vectors
+ * wrap a caller-provided pointer (the paper's
+ * flattened-2D-with-simulated-stack pattern for short-lived,
+ * constant-sized RNS polynomials).
  */
 template <typename T>
 class DeviceVector
@@ -150,24 +285,24 @@ class DeviceVector
   public:
     DeviceVector() = default;
 
-    explicit DeviceVector(std::size_t n)
-        : size_(n), owned_(true)
+    DeviceVector(std::size_t n, Device &dev)
+        : dev_(&dev), size_(n), owned_(true)
     {
-        data_ = static_cast<T *>(
-            Device::instance().pool().allocate(n * sizeof(T)));
+        data_ = static_cast<T *>(dev.pool().allocate(n * sizeof(T)));
     }
 
     /** Unmanaged view: memory owned by a higher-level class. */
-    DeviceVector(T *ptr, std::size_t n)
-        : data_(ptr), size_(n), owned_(false)
+    DeviceVector(T *ptr, std::size_t n, Device *dev = nullptr)
+        : dev_(dev), data_(ptr), size_(n), owned_(false)
     {}
 
     DeviceVector(const DeviceVector &) = delete;
     DeviceVector &operator=(const DeviceVector &) = delete;
 
     DeviceVector(DeviceVector &&o) noexcept
-        : data_(o.data_), size_(o.size_), owned_(o.owned_)
+        : dev_(o.dev_), data_(o.data_), size_(o.size_), owned_(o.owned_)
     {
+        o.dev_ = nullptr;
         o.data_ = nullptr;
         o.size_ = 0;
         o.owned_ = false;
@@ -178,9 +313,11 @@ class DeviceVector
     {
         if (this != &o) {
             destroy();
+            dev_ = o.dev_;
             data_ = o.data_;
             size_ = o.size_;
             owned_ = o.owned_;
+            o.dev_ = nullptr;
             o.data_ = nullptr;
             o.size_ = 0;
             o.owned_ = false;
@@ -195,15 +332,22 @@ class DeviceVector
     std::size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
     bool managed() const { return owned_; }
+    Device *device() const { return dev_; }
 
     T &operator[](std::size_t i) { return data_[i]; }
     const T &operator[](std::size_t i) const { return data_[i]; }
 
-    /** Deep copy into a new managed vector. */
+    /**
+     * Deep copy into a new managed vector on the same device. The
+     * copy is a device-to-device transfer, so its traffic goes
+     * through the launch counters like any other kernel.
+     */
     DeviceVector
     clone() const
     {
-        DeviceVector c(size_);
+        FIDES_ASSERT(dev_ != nullptr);
+        DeviceVector c(size_, *dev_);
+        dev_->launch(size_ * sizeof(T), size_ * sizeof(T), 0);
         std::memcpy(c.data_, data_, size_ * sizeof(T));
         return c;
     }
@@ -213,29 +357,15 @@ class DeviceVector
     destroy()
     {
         if (owned_ && data_) {
-            Device::instance().pool().release(data_, size_ * sizeof(T));
+            dev_->pool().release(data_, size_ * sizeof(T));
         }
         data_ = nullptr;
     }
 
+    Device *dev_ = nullptr;
     T *data_ = nullptr;
     std::size_t size_ = 0;
     bool owned_ = false;
-};
-
-/**
- * An in-order execution stream. Kernels submitted to different
- * streams are independent; the host substrate executes them eagerly,
- * so a Stream is an accounting context (plus the launch overhead).
- */
-class Stream
-{
-  public:
-    explicit Stream(int id = 0) : id_(id) {}
-    int id() const { return id_; }
-
-  private:
-    int id_;
 };
 
 } // namespace fideslib

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Execution-layer tests: the multi-device/multi-stream schedule must
+ * be a pure performance knob. The same workload run on 1 device / 1
+ * stream and on 2 devices / 4 streams has to produce bit-identical
+ * ciphertexts, limb placement has to follow the contiguous-block
+ * policy, forBatches has to account the right launch counts for uneven
+ * limb/batch splits, and the pool teardown assertion has to catch
+ * leaked device buffers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ckks/encryptor.hpp"
+#include "ckks/evaluator.hpp"
+#include "ckks/kernels.hpp"
+#include "ckks/keygen.hpp"
+
+namespace fideslib::ckks
+{
+namespace
+{
+
+Parameters
+topologyParams(u32 devices, u32 streamsPerDevice)
+{
+    Parameters p = Parameters::testSmall();
+    // Several batches per logical kernel so the round-robin schedule
+    // actually interleaves streams.
+    p.limbBatch = 2;
+    p.numDevices = devices;
+    p.streamsPerDevice = streamsPerDevice;
+    return p;
+}
+
+/**
+ * Encrypt, multiply (tensor + key switch), rescale, rotate, add: a
+ * pipeline crossing every kernel family, fully determined by the
+ * context seed.
+ */
+Ciphertext
+runPipeline(Context &ctx, KeyGen &keygen, const KeyBundle &keys)
+{
+    Evaluator eval(ctx, keys);
+    Encoder enc(ctx);
+    Encryptor encr(ctx, keys.pk);
+
+    const u32 slots = static_cast<u32>(ctx.degree() / 2);
+    const u32 L = ctx.maxLevel();
+    std::vector<std::complex<double>> za(slots), zb(slots);
+    for (u32 i = 0; i < slots; ++i) {
+        za[i] = {std::cos(0.37 * i), std::sin(0.91 * i)};
+        zb[i] = {std::sin(0.53 * i), std::cos(0.11 * i)};
+    }
+    auto a = encr.encrypt(enc.encode(za, slots, L));
+    auto b = encr.encrypt(enc.encode(zb, slots, L));
+
+    auto m = eval.multiply(a, b);
+    eval.rescaleInPlace(m);
+    auto r = eval.rotate(m, 1);
+    eval.addInPlace(r, m);
+    (void)keygen;
+    return r;
+}
+
+void
+expectPolyEqual(const RNSPoly &a, const RNSPoly &b)
+{
+    ASSERT_EQ(a.numLimbs(), b.numLimbs());
+    for (std::size_t i = 0; i < a.numLimbs(); ++i) {
+        ASSERT_EQ(a.primeIdxAt(i), b.primeIdxAt(i));
+        ASSERT_EQ(0, std::memcmp(a.limb(i).data(), b.limb(i).data(),
+                                 a.limb(i).size() * sizeof(u64)))
+            << "limb " << i << " differs";
+    }
+}
+
+TEST(ExecutionDeterminism, MultiStreamMatchesSingleStreamBitExactly)
+{
+    // Baseline: 1 device, 1 stream (inline execution).
+    Context ctx1(topologyParams(1, 1));
+    KeyGen kg1(ctx1);
+    KeyBundle keys1 = kg1.makeBundle({1});
+    Ciphertext r1 = runPipeline(ctx1, kg1, keys1);
+
+    // 2 devices x 2 streams = 4 concurrent streams.
+    Context ctx2(topologyParams(2, 2));
+    ASSERT_EQ(ctx2.devices().numDevices(), 2u);
+    ASSERT_EQ(ctx2.devices().numStreams(), 4u);
+    KeyGen kg2(ctx2);
+    KeyBundle keys2 = kg2.makeBundle({1});
+    Ciphertext r2 = runPipeline(ctx2, kg2, keys2);
+
+    expectPolyEqual(r1.c0, r2.c0);
+    expectPolyEqual(r1.c1, r2.c1);
+    EXPECT_EQ(static_cast<double>(r1.scale),
+              static_cast<double>(r2.scale));
+
+    // And an 8-stream single-device schedule for good measure.
+    Context ctx3(topologyParams(1, 8));
+    KeyGen kg3(ctx3);
+    KeyBundle keys3 = kg3.makeBundle({1});
+    Ciphertext r3 = runPipeline(ctx3, kg3, keys3);
+    expectPolyEqual(r1.c0, r3.c0);
+    expectPolyEqual(r1.c1, r3.c1);
+}
+
+TEST(ExecutionSharding, LimbsFollowBlockPlacement)
+{
+    Context ctx(topologyParams(2, 1));
+    // The RNS base is split into contiguous blocks, one per device.
+    const u32 total = ctx.numPrimes();
+    RNSPoly p(ctx, ctx.maxLevel(), Format::Eval, ctx.numSpecial());
+    ASSERT_EQ(p.numLimbs(), total);
+    for (std::size_t i = 0; i < p.numLimbs(); ++i) {
+        EXPECT_EQ(p.limb(i).device().id(), p.primeIdxAt(i) * 2 / total)
+            << "limb " << i;
+    }
+    // Both devices hold a real share of the polynomial.
+    const auto &part = p.partition();
+    EXPECT_GT(part.numOnDevice(0), 0u);
+    EXPECT_GT(part.numOnDevice(1), 0u);
+    EXPECT_EQ(part.numOnDevice(0) + part.numOnDevice(1), p.numLimbs());
+    // ... and the bytes live in the owning device's pool.
+    EXPECT_GT(ctx.devices().device(0).pool().bytesInUse(), 0u);
+    EXPECT_GT(ctx.devices().device(1).pool().bytesInUse(), 0u);
+    EXPECT_EQ(ctx.devices().bytesInUse(),
+              ctx.devices().device(0).pool().bytesInUse() +
+                  ctx.devices().device(1).pool().bytesInUse());
+}
+
+TEST(ExecutionLaunches, UnevenLimbBatchSplits)
+{
+    Context ctx(topologyParams(1, 1));
+    const std::size_t n = ctx.degree();
+    auto countLaunches = [&](std::size_t numLimbs, u32 batch) {
+        ctx.setLimbBatch(batch);
+        ctx.devices().resetCounters();
+        kernels::forBatches(ctx, numLimbs, n, n, n,
+                            [](std::size_t, std::size_t) {});
+        return ctx.devices().aggregateCounters().launches;
+    };
+    EXPECT_EQ(countLaunches(7, 3), 3u); // 3+3+1
+    EXPECT_EQ(countLaunches(7, 5), 2u); // 5+2
+    EXPECT_EQ(countLaunches(7, 7), 1u);
+    EXPECT_EQ(countLaunches(7, 9), 1u); // batch larger than limbs
+    EXPECT_EQ(countLaunches(1, 4), 1u);
+    EXPECT_EQ(countLaunches(0, 4), 0u); // empty kernel: no launch
+    EXPECT_EQ(countLaunches(8, 0), 1u); // 0 = one launch spans all
+}
+
+TEST(ExecutionLaunches, ShapeFreeFallbackRoundRobinsAcrossDevices)
+{
+    Context ctx(topologyParams(2, 1)); // 2 devices, 1 stream each
+    const std::size_t n = ctx.degree();
+    ctx.setLimbBatch(2);
+    ctx.devices().resetCounters();
+    // No primeAt mapping: 7 limbs / batch 2 -> 4 batches round-robin
+    // over streams 0,1,0,1.
+    kernels::forBatches(ctx, 7, n, n, 0,
+                        [](std::size_t, std::size_t) {});
+    EXPECT_EQ(ctx.devices().device(0).counters().launches, 2u);
+    EXPECT_EQ(ctx.devices().device(1).counters().launches, 2u);
+    // The uneven tail batch (1 limb) is accounted with its true size:
+    // total traffic covers exactly 7 limbs.
+    const KernelCounters total = ctx.devices().aggregateCounters();
+    EXPECT_EQ(total.bytesRead, 7 * n);
+    EXPECT_EQ(total.bytesWritten, 7 * n);
+}
+
+TEST(ExecutionLaunches, OwnershipDispatchAccountsWhereLimbsLive)
+{
+    Context ctx(topologyParams(2, 2));
+    const std::size_t n = ctx.degree();
+    const u32 total = ctx.numPrimes(); // block boundary at total / 2
+    RNSPoly a(ctx, ctx.maxLevel(), Format::Eval);
+    RNSPoly b(ctx, ctx.maxLevel(), Format::Eval);
+    a.setZero();
+    b.setZero();
+    const std::size_t limbs = a.numLimbs();
+    const std::size_t onDev0 = std::min<std::size_t>(limbs, total / 2);
+    const std::size_t onDev1 = limbs - onDev0;
+
+    // One launch spanning all limbs still splits at the device
+    // boundary: each device is charged exactly its own limbs.
+    ctx.setLimbBatch(0);
+    ctx.devices().resetCounters();
+    kernels::addInto(a, b);
+    EXPECT_EQ(ctx.devices().device(0).counters().launches,
+              onDev0 ? 1u : 0u);
+    EXPECT_EQ(ctx.devices().device(1).counters().launches,
+              onDev1 ? 1u : 0u);
+    EXPECT_EQ(ctx.devices().device(0).counters().bytesWritten,
+              onDev0 * n * sizeof(u64));
+    EXPECT_EQ(ctx.devices().device(1).counters().bytesWritten,
+              onDev1 * n * sizeof(u64));
+}
+
+TEST(ExecutionAccounting, PolyCloneGoesThroughLaunchCounters)
+{
+    Context ctx(topologyParams(1, 1));
+    RNSPoly p(ctx, ctx.maxLevel(), Format::Eval);
+    p.setZero();
+    ctx.devices().resetCounters();
+    RNSPoly c = p.clone();
+    const KernelCounters after = ctx.devices().aggregateCounters();
+    const u64 bytes = p.numLimbs() * ctx.degree() * sizeof(u64);
+    EXPECT_GE(after.launches, 1u);
+    EXPECT_EQ(after.bytesRead, bytes);
+    EXPECT_EQ(after.bytesWritten, bytes);
+}
+
+TEST(ExecutionPoolDeathTest, LeakedBufferTripsTeardownAssertion)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            Device dev;
+            void *leaked = dev.pool().allocate(64);
+            (void)leaked;
+            // Device (and its pool) destructs with bytesInUse != 0.
+        },
+        "assertion failed");
+}
+
+} // namespace
+} // namespace fideslib::ckks

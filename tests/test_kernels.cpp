@@ -211,23 +211,23 @@ TEST_F(KernelTest, LaunchCountTracksBatchSize)
 {
     auto a = randomPoly(ctx->maxLevel(), 10);
     auto b = randomPoly(ctx->maxLevel(), 11);
-    auto &dev = Device::instance();
+    auto &devs = ctx->devices();
 
     ctx->setLimbBatch(1);
-    dev.resetCounters();
+    devs.resetCounters();
     kernels::addInto(a, b);
-    u64 perLimb = dev.counters().launches;
+    u64 perLimb = devs.aggregateCounters().launches;
     EXPECT_EQ(perLimb, a.numLimbs());
 
     ctx->setLimbBatch(0);
-    dev.resetCounters();
+    devs.resetCounters();
     kernels::addInto(a, b);
-    EXPECT_EQ(dev.counters().launches, 1u);
+    EXPECT_EQ(devs.aggregateCounters().launches, 1u);
 
     ctx->setLimbBatch(2);
-    dev.resetCounters();
+    devs.resetCounters();
     kernels::addInto(a, b);
-    EXPECT_EQ(dev.counters().launches, (a.numLimbs() + 1) / 2);
+    EXPECT_EQ(devs.aggregateCounters().launches, (a.numLimbs() + 1) / 2);
     ctx->setLimbBatch(Parameters::testSmall().limbBatch);
 }
 
@@ -235,12 +235,12 @@ TEST_F(KernelTest, ByteAccountingIsPlausible)
 {
     auto a = randomPoly(2, 12);
     auto b = randomPoly(2, 13);
-    auto &dev = Device::instance();
-    dev.resetCounters();
+    auto &devs = ctx->devices();
+    devs.resetCounters();
     kernels::addInto(a, b);
     const u64 limbBytes = ctx->degree() * sizeof(u64) * a.numLimbs();
-    EXPECT_EQ(dev.counters().bytesRead, 2 * limbBytes);
-    EXPECT_EQ(dev.counters().bytesWritten, limbBytes);
+    EXPECT_EQ(devs.aggregateCounters().bytesRead, 2 * limbBytes);
+    EXPECT_EQ(devs.aggregateCounters().bytesWritten, limbBytes);
 }
 
 } // namespace
