@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hmult_levels.dir/bench/bench_hmult_levels.cpp.o"
+  "CMakeFiles/bench_hmult_levels.dir/bench/bench_hmult_levels.cpp.o.d"
+  "bench/bench_hmult_levels"
+  "bench/bench_hmult_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hmult_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

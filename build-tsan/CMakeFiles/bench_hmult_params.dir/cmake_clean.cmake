@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hmult_params.dir/bench/bench_hmult_params.cpp.o"
+  "CMakeFiles/bench_hmult_params.dir/bench/bench_hmult_params.cpp.o.d"
+  "bench/bench_hmult_params"
+  "bench/bench_hmult_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hmult_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

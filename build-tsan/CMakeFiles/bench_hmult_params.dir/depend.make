@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_hmult_params.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lr.dir/bench/bench_lr.cpp.o"
+  "CMakeFiles/bench_lr.dir/bench/bench_lr.cpp.o.d"
+  "bench/bench_lr"
+  "bench/bench_lr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modred.dir/bench/bench_modred.cpp.o"
+  "CMakeFiles/bench_modred.dir/bench/bench_modred.cpp.o.d"
+  "bench/bench_modred"
+  "bench/bench_modred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ntt.dir/bench/bench_ntt.cpp.o"
+  "CMakeFiles/bench_ntt.dir/bench/bench_ntt.cpp.o.d"
+  "bench/bench_ntt"
+  "bench/bench_ntt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ntt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

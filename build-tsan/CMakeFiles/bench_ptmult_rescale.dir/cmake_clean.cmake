@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ptmult_rescale.dir/bench/bench_ptmult_rescale.cpp.o"
+  "CMakeFiles/bench_ptmult_rescale.dir/bench/bench_ptmult_rescale.cpp.o.d"
+  "bench/bench_ptmult_rescale"
+  "bench/bench_ptmult_rescale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ptmult_rescale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

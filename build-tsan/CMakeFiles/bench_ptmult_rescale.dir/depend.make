@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ptmult_rescale.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_boot.dir/tests/debug_boot.cpp.o"
+  "CMakeFiles/debug_boot.dir/tests/debug_boot.cpp.o.d"
+  "debug_boot"
+  "debug_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_stats.dir/examples/encrypted_stats.cpp.o"
+  "CMakeFiles/encrypted_stats.dir/examples/encrypted_stats.cpp.o.d"
+  "examples/encrypted_stats"
+  "examples/encrypted_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

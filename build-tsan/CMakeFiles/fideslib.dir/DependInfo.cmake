@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckks/adapter.cpp" "CMakeFiles/fideslib.dir/src/ckks/adapter.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/adapter.cpp.o.d"
+  "/root/repo/src/ckks/basechange.cpp" "CMakeFiles/fideslib.dir/src/ckks/basechange.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/basechange.cpp.o.d"
+  "/root/repo/src/ckks/bootstrap.cpp" "CMakeFiles/fideslib.dir/src/ckks/bootstrap.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/bootstrap.cpp.o.d"
+  "/root/repo/src/ckks/chebyshev.cpp" "CMakeFiles/fideslib.dir/src/ckks/chebyshev.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/chebyshev.cpp.o.d"
+  "/root/repo/src/ckks/context.cpp" "CMakeFiles/fideslib.dir/src/ckks/context.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/context.cpp.o.d"
+  "/root/repo/src/ckks/encoder.cpp" "CMakeFiles/fideslib.dir/src/ckks/encoder.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/encoder.cpp.o.d"
+  "/root/repo/src/ckks/encryptor.cpp" "CMakeFiles/fideslib.dir/src/ckks/encryptor.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/encryptor.cpp.o.d"
+  "/root/repo/src/ckks/evaluator.cpp" "CMakeFiles/fideslib.dir/src/ckks/evaluator.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/evaluator.cpp.o.d"
+  "/root/repo/src/ckks/kernels.cpp" "CMakeFiles/fideslib.dir/src/ckks/kernels.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/kernels.cpp.o.d"
+  "/root/repo/src/ckks/keygen.cpp" "CMakeFiles/fideslib.dir/src/ckks/keygen.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/keygen.cpp.o.d"
+  "/root/repo/src/ckks/keyswitch.cpp" "CMakeFiles/fideslib.dir/src/ckks/keyswitch.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/keyswitch.cpp.o.d"
+  "/root/repo/src/ckks/lintrans.cpp" "CMakeFiles/fideslib.dir/src/ckks/lintrans.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/lintrans.cpp.o.d"
+  "/root/repo/src/ckks/lr.cpp" "CMakeFiles/fideslib.dir/src/ckks/lr.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/lr.cpp.o.d"
+  "/root/repo/src/ckks/parameters.cpp" "CMakeFiles/fideslib.dir/src/ckks/parameters.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/parameters.cpp.o.d"
+  "/root/repo/src/ckks/rnspoly.cpp" "CMakeFiles/fideslib.dir/src/ckks/rnspoly.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/rnspoly.cpp.o.d"
+  "/root/repo/src/ckks/serial.cpp" "CMakeFiles/fideslib.dir/src/ckks/serial.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ckks/serial.cpp.o.d"
+  "/root/repo/src/core/bigint.cpp" "CMakeFiles/fideslib.dir/src/core/bigint.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/core/bigint.cpp.o.d"
+  "/root/repo/src/core/device.cpp" "CMakeFiles/fideslib.dir/src/core/device.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/core/device.cpp.o.d"
+  "/root/repo/src/core/logging.cpp" "CMakeFiles/fideslib.dir/src/core/logging.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/core/logging.cpp.o.d"
+  "/root/repo/src/core/modarith.cpp" "CMakeFiles/fideslib.dir/src/core/modarith.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/core/modarith.cpp.o.d"
+  "/root/repo/src/core/ntt.cpp" "CMakeFiles/fideslib.dir/src/core/ntt.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/core/ntt.cpp.o.d"
+  "/root/repo/src/core/primes.cpp" "CMakeFiles/fideslib.dir/src/core/primes.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/core/primes.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "CMakeFiles/fideslib.dir/src/core/rng.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/core/rng.cpp.o.d"
+  "/root/repo/src/ref/refeval.cpp" "CMakeFiles/fideslib.dir/src/ref/refeval.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ref/refeval.cpp.o.d"
+  "/root/repo/src/ref/refntt.cpp" "CMakeFiles/fideslib.dir/src/ref/refntt.cpp.o" "gcc" "CMakeFiles/fideslib.dir/src/ref/refntt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fideslib.
+# This may be replaced when dependencies are built.

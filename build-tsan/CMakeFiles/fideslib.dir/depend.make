@@ -1,0 +1,2 @@
+# Empty dependencies file for fideslib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adapter.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_adapter.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_adapter.cpp.o.d"
+  "/root/repo/tests/test_bigint.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_bigint.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_bigint.cpp.o.d"
+  "/root/repo/tests/test_bootstrap.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_bootstrap.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/test_chebyshev.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_chebyshev.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_chebyshev.cpp.o.d"
+  "/root/repo/tests/test_context.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_context.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_context.cpp.o.d"
+  "/root/repo/tests/test_crypto.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_crypto.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_crypto.cpp.o.d"
+  "/root/repo/tests/test_device.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_device.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_device.cpp.o.d"
+  "/root/repo/tests/test_encoder.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_encoder.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_encoder.cpp.o.d"
+  "/root/repo/tests/test_execution.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_execution.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_execution.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_integration.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_kernels.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_lintrans.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_lintrans.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_lintrans.cpp.o.d"
+  "/root/repo/tests/test_lr.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_lr.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_lr.cpp.o.d"
+  "/root/repo/tests/test_modarith.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_modarith.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_modarith.cpp.o.d"
+  "/root/repo/tests/test_ntt.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_ntt.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_ntt.cpp.o.d"
+  "/root/repo/tests/test_primes.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_primes.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_primes.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_properties.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_rng.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rns.cpp" "CMakeFiles/fideslib_tests.dir/tests/test_rns.cpp.o" "gcc" "CMakeFiles/fideslib_tests.dir/tests/test_rns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/fideslib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

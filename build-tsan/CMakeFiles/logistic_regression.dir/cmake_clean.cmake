@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logistic_regression.dir/examples/logistic_regression.cpp.o"
+  "CMakeFiles/logistic_regression.dir/examples/logistic_regression.cpp.o.d"
+  "examples/logistic_regression"
+  "examples/logistic_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logistic_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_vector.dir/examples/matrix_vector.cpp.o"
+  "CMakeFiles/matrix_vector.dir/examples/matrix_vector.cpp.o.d"
+  "examples/matrix_vector"
+  "examples/matrix_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
