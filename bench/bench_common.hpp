@@ -128,6 +128,12 @@ reportPlatformModel(::benchmark::State &state, u64 iterations,
     }
     state.counters["kernel_launches"] =
         static_cast<double>(per.launches);
+    // Host-join accounting: the barrier model paid one join per
+    // logical kernel, the event model only at true host reads.
+    state.counters["syncs_per_op"] =
+        static_cast<double>(devs.hostJoins()) / iterations;
+    state.counters["kernels_per_op"] =
+        static_cast<double>(devs.logicalKernels()) / iterations;
 }
 
 /**

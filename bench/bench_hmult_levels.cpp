@@ -26,6 +26,9 @@ BM_HMultAtLevel(benchmark::State &state)
     for (auto _ : state) {
         auto r = b.eval->multiply(a, c);
         benchmark::DoNotOptimize(r.c0.limb(0).data());
+        // Join like a CUDA bench would (cudaDeviceSynchronize): the
+        // kernels pipeline asynchronously inside the iteration.
+        b.ctx->devices().synchronize();
     }
     reportPlatformModel(state, state.iterations(), b.ctx->devices());
     state.counters["limbs"] = level + 1;

@@ -16,9 +16,18 @@
  * shards the RNS limbs over two simulated devices and dispatches the
  * limb batches round-robin over four streams; per-device launch and
  * traffic counters are reported alongside the aggregate model.
+ *
+ * Besides the console output, every run (over)writes a machine-
+ * readable summary to BENCH_limb_batch.json (ns/op, host syncs/op,
+ * logical kernels/op, per-device launches); CI uploads it as a
+ * per-commit artifact so the performance trajectory of the
+ * asynchronous execution model accumulates across commits.
  */
 
+#include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -62,6 +71,9 @@ BM_HMultLimbBatch(benchmark::State &state)
     for (auto _ : state) {
         auto r = b.eval->multiply(a, c);
         benchmark::DoNotOptimize(r.c0.limb(0).data());
+        // Join like a CUDA bench would (cudaDeviceSynchronize): the
+        // kernels pipeline asynchronously inside the iteration.
+        b.ctx->devices().synchronize();
     }
     reportPlatformModel(state, state.iterations(), b.ctx->devices());
     reportPerDeviceCounters(state, state.iterations(),
@@ -127,6 +139,70 @@ parseTopologyFlags(int &argc, char **argv)
     }
 }
 
+/**
+ * Console reporter that additionally collects every finished run so
+ * main() can dump a machine-readable summary. Counter names carry
+ * their meaning: syncs_per_op counts host-side joins (the metric the
+ * event model exists to shrink), devN_launches the per-device kernel
+ * distribution.
+ */
+class JsonDumpReporter : public ::benchmark::ConsoleReporter
+{
+  public:
+    struct Row
+    {
+        std::string name;
+        double nsPerOp;
+        std::map<std::string, double> counters;
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            Row row;
+            row.name = run.benchmark_name();
+            const double iters =
+                run.iterations ? static_cast<double>(run.iterations)
+                               : 1.0;
+            row.nsPerOp = run.real_accumulated_time * 1e9 / iters;
+            for (const auto &[key, counter] : run.counters)
+                row.counters[key] = counter.value;
+            rows_.push_back(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    const std::vector<Row> &rows() const { return rows_; }
+
+  private:
+    std::vector<Row> rows_;
+};
+
+void
+writeJson(const JsonDumpReporter &rep, const char *path)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        fideslib::warn("cannot write %s", path);
+        return;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rep.rows().size(); ++i) {
+        const auto &row = rep.rows()[i];
+        std::fprintf(f, "  {\"name\": \"%s\", \"ns_per_op\": %.1f",
+                     row.name.c_str(), row.nsPerOp);
+        for (const auto &[key, value] : row.counters)
+            std::fprintf(f, ", \"%s\": %.4f", key.c_str(), value);
+        std::fprintf(f, "}%s\n",
+                     i + 1 < rep.rows().size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+}
+
 } // namespace
 
 BENCHMARK(BM_HMultLimbBatch)
@@ -140,7 +216,9 @@ main(int argc, char **argv)
     ::benchmark::Initialize(&argc, argv);
     if (::benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
-    ::benchmark::RunSpecifiedBenchmarks();
+    JsonDumpReporter reporter;
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);
+    writeJson(reporter, "BENCH_limb_batch.json");
     ::benchmark::Shutdown();
     return 0;
 }

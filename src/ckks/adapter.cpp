@@ -10,6 +10,8 @@ namespace fideslib::ckks::adapter
 HostPoly
 toHost(const RNSPoly &p)
 {
+    // Genuine host read: join on every kernel still writing p.
+    p.syncHost();
     HostPoly h;
     h.level = p.level();
     h.special = p.numSpecial();

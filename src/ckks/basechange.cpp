@@ -1,6 +1,7 @@
 #include "ckks/basechange.hpp"
 
 #include <cstring>
+#include <memory>
 
 #include "ckks/kernels.hpp"
 #include "core/logging.hpp"
@@ -15,43 +16,25 @@ constexpr std::size_t kConvBlock = 512; //!< coefficient tile size
 constexpr u64 kWord = sizeof(u64);
 
 /**
- * Accounts a base-conversion launch on each device that owns target
- * limbs: every device reads all the (peer-accessible) source limbs
- * and produces its own share of the targets, matching the paper's
- * multi-GPU partitioning of the Conv matrix product. With one device
- * this is a single launch, as in the released configuration.
+ * Computes the selected target limbs of the Conv matrix product
+ * (Equation (1)): a limb-wise scaling by sHatInv followed by a
+ * modular dot product per target, tiled over coefficients so the
+ * scaled source values stay hot (the shared-memory caching of the
+ * paper's kernel). @p targetSel selects which rows of the target
+ * basis to produce -- each simulated device computes its own share,
+ * re-scaling the sources itself (the paper's replicated multi-GPU
+ * partitioning of Conv).
  */
 void
-accountConvertLaunch(const Context &ctx, std::size_t numSrc,
-                     const std::vector<u32> &targetIdx, std::size_t n)
-{
-    DeviceSet &devs = ctx.devices();
-    for (u32 d = 0; d < devs.numDevices(); ++d) {
-        u64 cnt = 0;
-        for (u32 gi : targetIdx)
-            if (ctx.deviceFor(gi).id() == d)
-                ++cnt;
-        if (cnt) {
-            devs.device(d).launch(numSrc * n * kWord, cnt * n * kWord,
-                                  cnt * n * (2 * numSrc + 2));
-        }
-    }
-}
-
-} // namespace
-
-void
-convert(const Context &ctx, const std::vector<const u64 *> &src,
-        const ConvTables &tables, const std::vector<u64 *> &dst)
+convertTargets(const Context &ctx, const ConvTables &tables,
+               const std::vector<const u64 *> &src,
+               const std::vector<u64 *> &dst,
+               const std::vector<u32> &targetSel)
 {
     const std::size_t n = ctx.degree();
     const std::size_t ns = tables.sourceIdx.size();
     const std::size_t nt = tables.targetIdx.size();
-    FIDES_ASSERT(src.size() == ns && dst.size() == nt);
 
-    // Tile over coefficients: the scaled source values for a tile are
-    // kept hot (the shared-memory caching of the paper's kernel) and
-    // reused by every target dot product.
     std::vector<u64> scaled(ns * kConvBlock);
     for (std::size_t base = 0; base < n; base += kConvBlock) {
         const std::size_t cnt = std::min(kConvBlock, n - base);
@@ -64,7 +47,7 @@ convert(const Context &ctx, const std::vector<const u64 *> &src,
             for (std::size_t j = 0; j < cnt; ++j)
                 o[j] = mulModShoup(s[j], w, ws, p);
         }
-        for (std::size_t t = 0; t < nt; ++t) {
+        for (u32 t : targetSel) {
             const Modulus &m = ctx.prime(tables.targetIdx[t]).mod;
             u64 *o = dst[t] + base;
             for (std::size_t j = 0; j < cnt; ++j) {
@@ -82,6 +65,92 @@ convert(const Context &ctx, const std::vector<const u64 *> &src,
     }
 }
 
+/** One stream-dispatched Conv launch: the completion event and the
+ *  target rows it produced. */
+struct ConvLaunch
+{
+    Event ev;
+    std::vector<u32> targets;
+};
+
+/**
+ * Dispatches the Conv matrix product stream-ordered: one launch per
+ * device that owns target limbs, each reading all (peer-accessible)
+ * source limbs and producing its own share of the targets, matching
+ * the paper's multi-GPU partitioning. Every launch waits device-side
+ * on @p srcWaits; @p keep holds the source/target storage alive until
+ * the launches retire. With a single stream the product runs inline
+ * and no events are returned.
+ */
+std::vector<ConvLaunch>
+dispatchConvert(const Context &ctx, const ConvTables &tables,
+                std::vector<const u64 *> src, std::vector<u64 *> dst,
+                const std::vector<Event> &srcWaits,
+                std::vector<std::shared_ptr<const void>> keep)
+{
+    DeviceSet &devs = ctx.devices();
+    const std::size_t n = ctx.degree();
+    const std::size_t ns = src.size();
+    const std::size_t nt = tables.targetIdx.size();
+    FIDES_ASSERT(ns == tables.sourceIdx.size() && dst.size() == nt);
+
+    // Target rows grouped by owning device.
+    std::vector<std::vector<u32>> byDevice(devs.numDevices());
+    for (u32 t = 0; t < nt; ++t)
+        byDevice[ctx.deviceFor(tables.targetIdx[t]).id()].push_back(t);
+
+    std::vector<ConvLaunch> launches;
+    std::vector<u32> rr(devs.numDevices(), 0);
+    for (u32 d = 0; d < devs.numDevices(); ++d) {
+        std::vector<u32> &sel = byDevice[d];
+        if (sel.empty())
+            continue;
+        // One launch per involved device (compute bound): reads all
+        // sources, writes this device's targets.
+        devs.device(d).launch(ns * n * kWord, sel.size() * n * kWord,
+                              sel.size() * n * (2 * ns + 2));
+        if (devs.numStreams() == 1) {
+            convertTargets(ctx, tables, src, dst, sel);
+            continue;
+        }
+        Stream &st = devs.streamOfDevice(d, rr[d]++);
+        for (const Event &e : srcWaits)
+            st.wait(e);
+        std::vector<u32> selCopy = sel;
+        st.submit([&ctx, &tables, src, dst, sel = std::move(selCopy),
+                   keep] { convertTargets(ctx, tables, src, dst, sel); });
+        launches.push_back({st.record(), std::move(sel)});
+    }
+    return launches;
+}
+
+/** Pending-write events of the limbs behind @p src pointers. */
+std::vector<Event>
+writeEventsOf(const LimbPartition &p, const std::vector<u32> &positions)
+{
+    std::vector<Event> evs;
+    for (u32 pos : positions) {
+        const Event &w = p[pos].lastWrite();
+        if (!w.ready())
+            evs.push_back(w);
+    }
+    return evs;
+}
+
+} // namespace
+
+void
+convert(const Context &ctx, const std::vector<const u64 *> &src,
+        const ConvTables &tables, const std::vector<u64 *> &dst)
+{
+    FIDES_ASSERT(src.size() == tables.sourceIdx.size() &&
+                 dst.size() == tables.targetIdx.size());
+    std::vector<u32> all(tables.targetIdx.size());
+    for (u32 t = 0; t < all.size(); ++t)
+        all[t] = t;
+    convertTargets(ctx, tables, src, dst, all);
+}
+
 RNSPoly
 modUpDigit(const RNSPoly &coeffPoly, u32 digit)
 {
@@ -92,30 +161,53 @@ modUpDigit(const RNSPoly &coeffPoly, u32 digit)
     const std::size_t n = ctx.degree();
 
     RNSPoly out(ctx, level, Format::Coeff, ctx.numSpecial());
+    LimbPartition &op = out.partition();
+    const LimbPartition &sp = coeffPoly.partition();
 
     // Source limbs pass through unchanged (their residues are kept).
-    std::vector<const u64 *> src;
-    for (u32 gi : tables.sourceIdx) {
-        src.push_back(coeffPoly.limb(gi).data()); // q-limb position == gi
-        std::memcpy(out.limb(gi).data(), coeffPoly.limb(gi).data(),
-                    n * sizeof(u64));
-    }
+    // The digit's source primes are a contiguous q-limb block, so the
+    // copy is an ordinary positional kernel.
+    const std::size_t ns = tables.sourceIdx.size();
+    const std::size_t srcLo = tables.sourceIdx.front();
+    FIDES_ASSERT(tables.sourceIdx.back() == srcLo + ns - 1);
+    kernels::forBatches(ctx, ns, n * kWord, n * kWord, 0,
+                        [&op, &sp, n, srcLo](std::size_t lo,
+                                             std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            std::memcpy(op[srcLo + i].data(), sp[srcLo + i].data(),
+                        n * sizeof(u64));
+        }
+    }, [&sp, srcLo](std::size_t i) {
+        return sp[srcLo + i].primeIdx();
+    }, {kernels::rd(coeffPoly, srcLo), kernels::wr(out, srcLo)});
 
-    // Target limbs: position of global prime gi in `out`.
+    // Conv sources read the coefficient poly directly; targets land
+    // in `out` at the position of each global prime.
+    std::vector<const u64 *> src;
+    for (u32 gi : tables.sourceIdx)
+        src.push_back(sp[gi].data()); // q-limb position == gi
     std::vector<u64 *> dst;
+    std::vector<u32> dstPos;
     for (u32 gi : tables.targetIdx) {
         std::size_t pos = gi <= level
                               ? gi
                               : level + 1 + (gi - (ctx.maxLevel() + 1));
-        dst.push_back(out.limb(pos).data());
+        dst.push_back(op[pos].data());
+        dstPos.push_back(static_cast<u32>(pos));
     }
 
-    // One launch per involved device for the conversion matrix
-    // product (compute bound).
-    accountConvertLaunch(ctx, src.size(), tables.targetIdx, n);
-    convert(ctx, src, tables, dst);
+    auto launches = dispatchConvert(
+        ctx, tables, std::move(src), std::move(dst),
+        writeEventsOf(sp, tables.sourceIdx),
+        {coeffPoly.partShared(), out.partShared()});
+    for (const ConvLaunch &l : launches) {
+        for (u32 t : l.targets)
+            op[dstPos[t]].noteWrite(l.ev);
+        for (u32 gi : tables.sourceIdx)
+            sp[gi].noteRead(l.ev);
+    }
 
-    kernels::toEval(out);
+    kernels::toEval(out); // waits the copy + Conv events stream-side
     return out;
 }
 
@@ -129,70 +221,106 @@ modDown(RNSPoly &a)
     const u32 K = ctx.numSpecial();
     const std::size_t n = ctx.degree();
     const ConvTables &tables = ctx.modDownTables(level);
+    LimbPartition &ap = a.partition();
 
     // iNTT the special limbs to coefficient form.
     kernels::forBatches(ctx, K, 2 * n * kWord, 2 * n * kWord,
                         5 * n * ctx.logDegree(),
-                        [&](std::size_t lo, std::size_t hi) {
+                        [&ctx, &ap, level](std::size_t lo,
+                                           std::size_t hi) {
         for (std::size_t k = lo; k < hi; ++k) {
-            kernels::inttLimb(ctx, a.limb(level + 1 + k).data(),
-                              ctx.specialIdx(k));
+            Limb &l = ap[level + 1 + k];
+            kernels::inttLimb(ctx, l.data(), l.primeIdx());
         }
-    }, [&](std::size_t k) {
-        return ctx.specialIdx(static_cast<u32>(k));
-    });
+    }, [&ap, level](std::size_t k) {
+        return ap[level + 1 + k].primeIdx();
+    }, {kernels::wr(a, level + 1)});
 
-    // Convert [x]_P into the Q_l basis (coeff form).
+    // Convert [x]_P into the Q_l basis (coeff form), into host
+    // scratch shared with the downstream kernels.
     std::vector<const u64 *> src;
-    for (u32 k = 0; k < K; ++k)
-        src.push_back(a.limb(level + 1 + k).data());
-    std::vector<std::vector<u64>> tmp(level + 1,
-                                      std::vector<u64>(n));
+    std::vector<u32> srcPos;
+    for (u32 k = 0; k < K; ++k) {
+        src.push_back(ap[level + 1 + k].data());
+        srcPos.push_back(level + 1 + k);
+    }
+    auto tmp = std::make_shared<std::vector<std::vector<u64>>>(
+        level + 1, std::vector<u64>(n));
     std::vector<u64 *> dst;
     for (u32 i = 0; i <= level; ++i)
-        dst.push_back(tmp[i].data());
-    accountConvertLaunch(ctx, K, tables.targetIdx, n);
-    convert(ctx, src, tables, dst);
+        dst.push_back((*tmp)[i].data());
 
-    // Fused epilogue (paper III-F5, ModDown fusion): per q-limb,
-    // NTT(tmp) then x = P^{-1} (x - tmp) in the same kernel.
+    auto launches = dispatchConvert(ctx, tables, std::move(src),
+                                    std::move(dst),
+                                    writeEventsOf(ap, srcPos),
+                                    {a.partShared(), tmp});
+    std::vector<Event> convDone;
+    for (const ConvLaunch &l : launches) {
+        for (u32 pos : srcPos)
+            ap[pos].noteRead(l.ev);
+        convDone.push_back(l.ev);
+    }
+
+    // Epilogue into a FRESH level-l polynomial (paper III-F5, ModDown
+    // fusion: per q-limb, NTT(tmp) then out = P^{-1} (x - tmp) in the
+    // same kernel). Building a new polynomial instead of dropping the
+    // special limbs in place keeps the hot path free of host joins:
+    // the old partition (and its still-pending special limbs) is
+    // retired through the keep-alive / deferred-free machinery.
+    RNSPoly out(ctx, level, Format::Eval);
+    LimbPartition &op = out.partition();
     const bool fused = ctx.fusionEnabled();
-    auto epilogue = [&](std::size_t i) {
-        const u64 p = ctx.qMod(i).value;
-        const u64 w = ctx.pInvModQ(i);
-        const u64 ws = ctx.pInvModQShoup(i);
-        u64 *x = a.limb(i).data();
-        const u64 *t = tmp[i].data();
-        for (std::size_t j = 0; j < n; ++j)
-            x[j] = mulModShoup(subMod(x[j], t[j], p), w, ws, p);
-    };
     if (fused) {
         kernels::forBatches(ctx, level + 1, 3 * n * kWord, n * kWord,
                             5 * n * ctx.logDegree() + 4 * n,
-                            [&](std::size_t lo, std::size_t hi) {
+                            [&ctx, &ap, &op, tmp, n](std::size_t lo,
+                                                     std::size_t hi) {
             for (std::size_t i = lo; i < hi; ++i) {
-                kernels::nttLimb(ctx, tmp[i].data(),
-                                 static_cast<u32>(i));
-                epilogue(i);
+                u64 *t = (*tmp)[i].data();
+                kernels::nttLimb(ctx, t, static_cast<u32>(i));
+                const u64 p = ctx.qMod(i).value;
+                const u64 w = ctx.pInvModQ(i);
+                const u64 ws = ctx.pInvModQShoup(i);
+                const u64 *x = ap[i].data();
+                u64 *o = op[i].data();
+                for (std::size_t j = 0; j < n; ++j)
+                    o[j] = mulModShoup(subMod(x[j], t[j], p), w, ws,
+                                       p);
             }
-        }, [](std::size_t i) { return static_cast<u32>(i); });
+        }, [](std::size_t i) { return static_cast<u32>(i); },
+           {kernels::wr(out), kernels::rd(a)}, convDone);
     } else {
+        std::vector<Event> nttDone;
         kernels::forBatches(ctx, level + 1, 2 * n * kWord,
                             2 * n * kWord, 5 * n * ctx.logDegree(),
-                            [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t i = lo; i < hi; ++i)
-                kernels::nttLimb(ctx, tmp[i].data(),
+                            [&ctx, tmp](std::size_t lo,
+                                        std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                kernels::nttLimb(ctx, (*tmp)[i].data(),
                                  static_cast<u32>(i));
-        }, [](std::size_t i) { return static_cast<u32>(i); });
+            }
+        }, [](std::size_t i) { return static_cast<u32>(i); }, {},
+           convDone, &nttDone);
         kernels::forBatches(ctx, level + 1, 2 * n * kWord, n * kWord,
                             4 * n,
-                            [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t i = lo; i < hi; ++i)
-                epilogue(i);
-        }, [](std::size_t i) { return static_cast<u32>(i); });
+                            [&ctx, &ap, &op, tmp, n](std::size_t lo,
+                                                     std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                const u64 p = ctx.qMod(i).value;
+                const u64 w = ctx.pInvModQ(i);
+                const u64 ws = ctx.pInvModQShoup(i);
+                const u64 *x = ap[i].data();
+                const u64 *t = (*tmp)[i].data();
+                u64 *o = op[i].data();
+                for (std::size_t j = 0; j < n; ++j)
+                    o[j] = mulModShoup(subMod(x[j], t[j], p), w, ws,
+                                       p);
+            }
+        }, [](std::size_t i) { return static_cast<u32>(i); },
+           {kernels::wr(out), kernels::rd(a)}, nttDone);
     }
 
-    a.dropSpecialLimbs();
+    a = std::move(out);
 }
 
 void
@@ -205,29 +333,40 @@ rescale(RNSPoly &a)
     const u32 l = a.level();
     const std::size_t n = ctx.degree();
     const u64 ql = ctx.qMod(l).value;
+    LimbPartition &ap = a.partition();
 
-    // iNTT the dropped limb.
-    std::vector<u64> last(n);
-    std::memcpy(last.data(), a.limb(l).data(), n * sizeof(u64));
-    ctx.deviceFor(l).launch(2 * n * kWord, 2 * n * kWord,
-                            5 * n * ctx.logDegree());
-    kernels::inttLimb(ctx, last.data(), l);
+    // iNTT the dropped limb into host scratch, stream-ordered (no
+    // host read: the buffer is only consumed by downstream kernels).
+    auto last = std::make_shared<std::vector<u64>>(n);
+    std::vector<Event> lastDone;
+    kernels::forBatches(ctx, 1, 2 * n * kWord, 2 * n * kWord,
+                        5 * n * ctx.logDegree(),
+                        [&ctx, &ap, last, l, n](std::size_t,
+                                                std::size_t) {
+        std::memcpy(last->data(), ap[l].data(), n * sizeof(u64));
+        kernels::inttLimb(ctx, last->data(), ap[l].primeIdx());
+    }, [&ap, l](std::size_t) { return ap[l].primeIdx(); },
+       {kernels::rdFixed(a, l)}, {}, &lastDone);
 
     // Fused path (paper Rescale fusion): one kernel per limb batch
     // performs SwitchModulus prologue + NTT + the combined
     // q_l^{-1} (x - NTT(...)) epilogue, saving the intermediate
-    // global-memory round trips. Unfused path: three separate
-    // kernels (each spanning all limbs), the structure of a backend
+    // global-memory round trips, writing a FRESH level-(l-1)
+    // polynomial (same join-free rationale as modDown). Unfused
+    // path: three separate kernels, the structure of a backend
     // without fusion support.
+    RNSPoly out(ctx, l - 1, Format::Eval);
+    LimbPartition &op = out.partition();
     const bool fused = ctx.fusionEnabled();
     if (fused) {
         kernels::forBatches(ctx, l, 3 * n * kWord, n * kWord,
                             5 * n * ctx.logDegree() + 6 * n,
-                            [&](std::size_t lo, std::size_t hi) {
+                            [&ctx, &ap, &op, last, ql, l,
+                             n](std::size_t lo, std::size_t hi) {
             // Per-batch scratch: batches run on concurrent streams.
             std::vector<u64> tmp(n);
             for (std::size_t i = lo; i < hi; ++i) {
-                kernels::switchModulusLimb(ctx, last.data(), ql,
+                kernels::switchModulusLimb(ctx, last->data(), ql,
                                            tmp.data(),
                                            static_cast<u32>(i));
                 kernels::nttLimb(ctx, tmp.data(),
@@ -235,47 +374,60 @@ rescale(RNSPoly &a)
                 const u64 p = ctx.qMod(i).value;
                 const u64 w = ctx.qlInvModQ(l, i);
                 const u64 ws = ctx.qlInvModQShoup(l, i);
-                u64 *x = a.limb(i).data();
+                const u64 *x = ap[i].data();
+                u64 *o = op[i].data();
                 for (std::size_t j = 0; j < n; ++j) {
-                    x[j] = mulModShoup(subMod(x[j], tmp[j], p), w, ws,
+                    o[j] = mulModShoup(subMod(x[j], tmp[j], p), w, ws,
                                        p);
                 }
             }
-        }, [](std::size_t i) { return static_cast<u32>(i); });
+        }, [](std::size_t i) { return static_cast<u32>(i); },
+           {kernels::wr(out), kernels::rd(a)}, lastDone);
     } else {
-        std::vector<std::vector<u64>> tmp(l, std::vector<u64>(n));
+        auto tmp = std::make_shared<std::vector<std::vector<u64>>>(
+            l, std::vector<u64>(n));
+        std::vector<Event> switched;
         kernels::forBatches(ctx, l, n * kWord, n * kWord, 2 * n,
-                            [&](std::size_t lo, std::size_t hi) {
+                            [&ctx, tmp, last, ql](std::size_t lo,
+                                                  std::size_t hi) {
             for (std::size_t i = lo; i < hi; ++i) {
-                kernels::switchModulusLimb(ctx, last.data(), ql,
-                                           tmp[i].data(),
+                kernels::switchModulusLimb(ctx, last->data(), ql,
+                                           (*tmp)[i].data(),
                                            static_cast<u32>(i));
             }
-        }, [](std::size_t i) { return static_cast<u32>(i); });
+        }, [](std::size_t i) { return static_cast<u32>(i); }, {},
+           lastDone, &switched);
+        std::vector<Event> ntted;
         kernels::forBatches(ctx, l, 2 * n * kWord, 2 * n * kWord,
                             5 * n * ctx.logDegree(),
-                            [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t i = lo; i < hi; ++i)
-                kernels::nttLimb(ctx, tmp[i].data(),
+                            [&ctx, tmp](std::size_t lo,
+                                        std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                kernels::nttLimb(ctx, (*tmp)[i].data(),
                                  static_cast<u32>(i));
-        }, [](std::size_t i) { return static_cast<u32>(i); });
+            }
+        }, [](std::size_t i) { return static_cast<u32>(i); }, {},
+           switched, &ntted);
         kernels::forBatches(ctx, l, 2 * n * kWord, n * kWord, 6 * n,
-                            [&](std::size_t lo, std::size_t hi) {
+                            [&ctx, &ap, &op, tmp, l,
+                             n](std::size_t lo, std::size_t hi) {
             for (std::size_t i = lo; i < hi; ++i) {
                 const u64 p = ctx.qMod(i).value;
                 const u64 w = ctx.qlInvModQ(l, i);
                 const u64 ws = ctx.qlInvModQShoup(l, i);
-                u64 *x = a.limb(i).data();
-                const u64 *t = tmp[i].data();
+                const u64 *x = ap[i].data();
+                const u64 *t = (*tmp)[i].data();
+                u64 *o = op[i].data();
                 for (std::size_t j = 0; j < n; ++j) {
-                    x[j] = mulModShoup(subMod(x[j], t[j], p), w, ws,
+                    o[j] = mulModShoup(subMod(x[j], t[j], p), w, ws,
                                        p);
                 }
             }
-        }, [](std::size_t i) { return static_cast<u32>(i); });
+        }, [](std::size_t i) { return static_cast<u32>(i); },
+           {kernels::wr(out), kernels::rd(a)}, ntted);
     }
 
-    a.dropLimb();
+    a = std::move(out);
 }
 
 RNSPoly
@@ -288,15 +440,26 @@ modRaise(const RNSPoly &a, u32 newLevel)
     const u64 q0 = ctx.qMod(0).value;
 
     RNSPoly out(ctx, newLevel, Format::Coeff);
-    std::memcpy(out.limb(0).data(), a.limb(0).data(), n * sizeof(u64));
-    kernels::forBatches(ctx, newLevel, n * kWord, n * kWord, 2 * n,
-                        [&](std::size_t lo, std::size_t hi) {
+    LimbPartition &op = out.partition();
+    const LimbPartition &ip = a.partition();
+    // Limb 0 passes through; limbs 1..newLevel take the centered lift
+    // of the q_0 residues. Every batch reads the single source limb
+    // (a fixed dependency, not a positional one).
+    kernels::forBatches(ctx, newLevel + 1, n * kWord, n * kWord, 2 * n,
+                        [&ctx, &op, &ip, q0, n](std::size_t lo,
+                                                std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            kernels::switchModulusLimb(ctx, a.limb(0).data(), q0,
-                                       out.limb(i + 1).data(),
-                                       static_cast<u32>(i + 1));
+            if (i == 0) {
+                std::memcpy(op[0].data(), ip[0].data(),
+                            n * sizeof(u64));
+            } else {
+                kernels::switchModulusLimb(ctx, ip[0].data(), q0,
+                                           op[i].data(),
+                                           static_cast<u32>(i));
+            }
         }
-    }, [](std::size_t i) { return static_cast<u32>(i + 1); });
+    }, [](std::size_t i) { return static_cast<u32>(i); },
+       {kernels::wr(out), kernels::rdFixed(a, 0)});
     return out;
 }
 

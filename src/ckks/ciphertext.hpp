@@ -25,6 +25,9 @@ struct Plaintext
     u32 slots;
 
     u32 level() const { return poly.level(); }
+
+    /** Host join on every pending kernel touching this plaintext. */
+    void syncHost() const { poly.syncHost(); }
 };
 
 /** An RLWE ciphertext (c0, c1) under the canonical secret key. */
@@ -37,6 +40,15 @@ struct Ciphertext
     double noiseBits = 0.0; //!< log2 of the estimated noise magnitude
 
     u32 level() const { return c0.level(); }
+
+    /** Host join on every pending kernel touching this ciphertext --
+     *  required before reading limb data on the host. */
+    void
+    syncHost() const
+    {
+        c0.syncHost();
+        c1.syncHost();
+    }
 
     Ciphertext
     clone() const

@@ -163,7 +163,7 @@ Encoder::encodeToPoly(const std::vector<Cplx> &values, u32 slots,
         coeffHi[k] = roundToI128(u[k].imag() * scale);
     }
 
-    out.setZero();
+    out.setZero(); // host write below: setZero joins if pending
     out.setFormat(Format::Coeff);
     for (std::size_t i = 0; i < out.numLimbs(); ++i) {
         const Modulus &m = ctx_->prime(out.primeIdxAt(i)).mod;
@@ -212,6 +212,9 @@ Encoder::decode(const Plaintext &pt) const
     RNSPoly poly = pt.poly.clone();
     if (poly.format() == Format::Eval)
         kernels::toCoeff(poly);
+    // Genuine host read: the CRT reconstruction below walks limb data
+    // on the calling thread.
+    poly.syncHost();
 
     const CrtReconstructor &crt = ctx_->reconstructor(level);
     std::vector<u64> residues(level + 1);

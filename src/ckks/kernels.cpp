@@ -39,6 +39,81 @@ mulAddSpan(const Context &ctx, u64 *acc, const u64 *a, const u64 *b,
     }
 }
 
+/** The limb range of @p d that batch [lo, hi) touches. */
+inline std::pair<std::size_t, std::size_t>
+depRange(const Dep &d, std::size_t lo, std::size_t hi)
+{
+    if (d.whole)
+        return {0, d.poly->numLimbs()};
+    if (d.fixed)
+        return {d.offset, d.offset + 1};
+    return {d.offset + lo, d.offset + hi};
+}
+
+/**
+ * Enqueues on @p st the stream-side waits batch [lo, hi) needs:
+ * writers wait on the last writer and all in-flight readers of each
+ * touched limb, readers only on the last writer. Events already
+ * signalled, recorded on this same stream (in-order), or duplicated
+ * across operands are skipped.
+ */
+void
+waitHazards(Stream &st, std::initializer_list<Dep> deps,
+            const std::vector<Event> &extraWaits, std::size_t lo,
+            std::size_t hi)
+{
+    std::vector<Event> waits;
+    auto consider = [&](const Event &e) {
+        if (e.ready() || e.streamId() == st.id())
+            return;
+        for (const Event &w : waits)
+            if (w.sameAs(e))
+                return;
+        waits.push_back(e);
+    };
+    for (const Dep &d : deps) {
+        const LimbPartition &p = d.poly->partition();
+        auto [b, e] = depRange(d, lo, hi);
+        for (std::size_t i = b; i < e; ++i) {
+            consider(p[i].lastWrite());
+            if (d.mode == Access::Write)
+                for (const Event &r : p[i].lastReads())
+                    consider(r);
+        }
+    }
+    for (const Event &e : extraWaits)
+        consider(e);
+    for (const Event &e : waits)
+        st.wait(e);
+}
+
+/**
+ * Records batch [lo, hi)'s completion event onto the operand limbs.
+ * Writes are noted before reads so that an operand appearing as both
+ * (in-place kernels) ends up tracked as written-then-read.
+ */
+void
+noteBatch(std::initializer_list<Dep> deps, std::size_t lo,
+          std::size_t hi, const Event &ev)
+{
+    for (const Dep &d : deps) {
+        if (d.mode != Access::Write)
+            continue;
+        const LimbPartition &p = d.poly->partition();
+        auto [b, e] = depRange(d, lo, hi);
+        for (std::size_t i = b; i < e; ++i)
+            p[i].noteWrite(ev);
+    }
+    for (const Dep &d : deps) {
+        if (d.mode != Access::Read)
+            continue;
+        const LimbPartition &p = d.poly->partition();
+        auto [b, e] = depRange(d, lo, hi);
+        for (std::size_t i = b; i < e; ++i)
+            p[i].noteRead(ev);
+    }
+}
+
 } // namespace
 
 void
@@ -46,7 +121,10 @@ forBatches(const Context &ctx, std::size_t numLimbs,
            u64 bytesReadPerLimb, u64 bytesWrittenPerLimb,
            u64 intOpsPerLimb,
            const std::function<void(std::size_t, std::size_t)> &fn,
-           const std::function<u32(std::size_t)> &primeAt)
+           const std::function<u32(std::size_t)> &primeAt,
+           std::initializer_list<Dep> deps,
+           const std::vector<Event> &extraWaits,
+           std::vector<Event> *recorded)
 {
     if (numLimbs == 0)
         return;
@@ -55,21 +133,54 @@ forBatches(const Context &ctx, std::size_t numLimbs,
         batch = 1;
     DeviceSet &devs = ctx.devices();
     const u32 numStreams = devs.numStreams();
+    devs.noteLogicalKernel();
+
+    if (numStreams == 1) {
+        // A single stream is in-order by construction: run the
+        // batches eagerly on the submitting thread. No events are
+        // recorded or waited (everything this kernel could depend on
+        // already ran inline too; extraWaits are signalled for the
+        // same reason).
+        for (const Event &e : extraWaits)
+            e.synchronize();
+        for (std::size_t lo = 0; lo < numLimbs; lo += batch) {
+            const std::size_t hi = std::min(numLimbs, lo + batch);
+            devs.stream(0).device().launch(
+                (hi - lo) * bytesReadPerLimb,
+                (hi - lo) * bytesWrittenPerLimb,
+                (hi - lo) * intOpsPerLimb);
+            fn(lo, hi);
+        }
+        return;
+    }
+
+    // Asynchronous multi-stream dispatch. The body is copied once and
+    // shared by every batch; each queued task also holds the operand
+    // partitions alive so a temporary polynomial may be destroyed
+    // while its kernels are still in flight.
+    auto body = std::make_shared<
+        const std::function<void(std::size_t, std::size_t)>>(fn);
+    std::vector<std::shared_ptr<LimbPartition>> keep;
+    keep.reserve(deps.size());
+    for (const Dep &d : deps)
+        keep.push_back(d.poly->partShared());
 
     // Launch accounting and the simulated CPU-side launch overhead
     // are paid on the submitting thread, in submission order, exactly
-    // as a CUDA launch would. Batches touch disjoint limb ranges, so
-    // they execute concurrently; the logical kernel completes at the
-    // barrier, giving callers in-order semantics at kernel joins.
-    auto launchOn = [&](Stream &st, std::size_t lo, std::size_t hi,
-                        bool inline_) {
+    // as a CUDA launch would. Batches of one kernel touch disjoint
+    // limb ranges, so they execute concurrently; ordering against
+    // OTHER kernels on the same operands is enforced stream-side by
+    // the recorded events -- the host never joins here.
+    auto launchOn = [&](Stream &st, std::size_t lo, std::size_t hi) {
         st.device().launch((hi - lo) * bytesReadPerLimb,
                            (hi - lo) * bytesWrittenPerLimb,
                            (hi - lo) * intOpsPerLimb);
-        if (inline_)
-            fn(lo, hi);
-        else
-            st.submit([&fn, lo, hi] { fn(lo, hi); });
+        waitHazards(st, deps, extraWaits, lo, hi);
+        st.submit([body, keep, lo, hi] { (*body)(lo, hi); });
+        Event ev = st.record();
+        noteBatch(deps, lo, hi, ev);
+        if (recorded)
+            recorded->push_back(std::move(ev));
     };
 
     if (primeAt && devs.numDevices() > 1) {
@@ -87,31 +198,20 @@ forBatches(const Context &ctx, std::size_t numLimbs,
                 std::size_t end = sub + 1;
                 while (end < hi && ctx.deviceFor(primeAt(end)).id() == d)
                     ++end;
-                // numDevices > 1 implies at least two streams.
-                launchOn(devs.streamOfDevice(d, rr[d]++), sub, end,
-                         /*inline_=*/false);
+                launchOn(devs.streamOfDevice(d, rr[d]++), sub, end);
                 sub = end;
             }
         }
-    } else if (numStreams == 1) {
-        // A single stream is in-order by construction: run the
-        // batches eagerly on the submitting thread.
-        for (std::size_t lo = 0; lo < numLimbs; lo += batch) {
-            std::size_t hi = std::min(numLimbs, lo + batch);
-            launchOn(devs.stream(0), lo, hi, /*inline_=*/true);
-        }
-        return;
     } else {
         // Shape-free fallback: round-robin over all streams.
         u32 next = 0;
         for (std::size_t lo = 0; lo < numLimbs; lo += batch) {
-            std::size_t hi = std::min(numLimbs, lo + batch);
+            const std::size_t hi = std::min(numLimbs, lo + batch);
             Stream &st = devs.stream(next);
             next = (next + 1) % numStreams;
-            launchOn(st, lo, hi, /*inline_=*/false);
+            launchOn(st, lo, hi);
         }
     }
-    devs.synchronize();
 }
 
 void
@@ -120,17 +220,20 @@ addInto(RNSPoly &a, const RNSPoly &b)
     FIDES_ASSERT(a.numLimbs() <= b.numLimbs());
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
+    LimbPartition &ap = a.partition();
+    const LimbPartition &bp = b.partition();
     forBatches(ctx, a.numLimbs(), 2 * n * kWord, n * kWord, n,
-               [&](std::size_t lo, std::size_t hi) {
+               [&ctx, &ap, &bp, n](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            FIDES_ASSERT(a.primeIdxAt(i) == b.primeIdxAt(i));
-            u64 p = ctx.prime(a.primeIdxAt(i)).value();
-            u64 *x = a.limb(i).data();
-            const u64 *y = b.limb(i).data();
+            FIDES_ASSERT(ap[i].primeIdx() == bp[i].primeIdx());
+            u64 p = ctx.prime(ap[i].primeIdx()).value();
+            u64 *x = ap[i].data();
+            const u64 *y = bp[i].data();
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = addMod(x[j], y[j], p);
         }
-    }, [&](std::size_t i) { return a.primeIdxAt(i); });
+    }, [&ap](std::size_t i) { return ap[i].primeIdx(); },
+       {wr(a), rd(b)});
 }
 
 void
@@ -139,17 +242,20 @@ subInto(RNSPoly &a, const RNSPoly &b)
     FIDES_ASSERT(a.numLimbs() <= b.numLimbs());
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
+    LimbPartition &ap = a.partition();
+    const LimbPartition &bp = b.partition();
     forBatches(ctx, a.numLimbs(), 2 * n * kWord, n * kWord, n,
-               [&](std::size_t lo, std::size_t hi) {
+               [&ctx, &ap, &bp, n](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            FIDES_ASSERT(a.primeIdxAt(i) == b.primeIdxAt(i));
-            u64 p = ctx.prime(a.primeIdxAt(i)).value();
-            u64 *x = a.limb(i).data();
-            const u64 *y = b.limb(i).data();
+            FIDES_ASSERT(ap[i].primeIdx() == bp[i].primeIdx());
+            u64 p = ctx.prime(ap[i].primeIdx()).value();
+            u64 *x = ap[i].data();
+            const u64 *y = bp[i].data();
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = subMod(x[j], y[j], p);
         }
-    }, [&](std::size_t i) { return a.primeIdxAt(i); });
+    }, [&ap](std::size_t i) { return ap[i].primeIdx(); },
+       {wr(a), rd(b)});
 }
 
 void
@@ -157,15 +263,16 @@ negate(RNSPoly &a)
 {
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
+    LimbPartition &ap = a.partition();
     forBatches(ctx, a.numLimbs(), n * kWord, n * kWord, n,
-               [&](std::size_t lo, std::size_t hi) {
+               [&ctx, &ap, n](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            u64 p = ctx.prime(a.primeIdxAt(i)).value();
-            u64 *x = a.limb(i).data();
+            u64 p = ctx.prime(ap[i].primeIdx()).value();
+            u64 *x = ap[i].data();
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = negMod(x[j], p);
         }
-    }, [&](std::size_t i) { return a.primeIdxAt(i); });
+    }, [&ap](std::size_t i) { return ap[i].primeIdx(); }, {wr(a)});
 }
 
 void
@@ -176,15 +283,18 @@ mulInto(RNSPoly &a, const RNSPoly &b)
     FIDES_ASSERT(a.numLimbs() <= b.numLimbs());
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
+    LimbPartition &ap = a.partition();
+    const LimbPartition &bp = b.partition();
     forBatches(ctx, a.numLimbs(), 2 * n * kWord, n * kWord, 5 * n,
-               [&](std::size_t lo, std::size_t hi) {
+               [&ctx, &ap, &bp, n](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            FIDES_ASSERT(a.primeIdxAt(i) == b.primeIdxAt(i));
-            const Modulus &m = ctx.prime(a.primeIdxAt(i)).mod;
-            mulSpan(ctx, a.limb(i).data(), a.limb(i).data(),
-                    b.limb(i).data(), n, m);
+            FIDES_ASSERT(ap[i].primeIdx() == bp[i].primeIdx());
+            const Modulus &m = ctx.prime(ap[i].primeIdx()).mod;
+            mulSpan(ctx, ap[i].data(), ap[i].data(), bp[i].data(), n,
+                    m);
         }
-    }, [&](std::size_t i) { return a.primeIdxAt(i); });
+    }, [&ap](std::size_t i) { return ap[i].primeIdx(); },
+       {wr(a), rd(b)});
 }
 
 void
@@ -197,14 +307,19 @@ mul(RNSPoly &out, const RNSPoly &a, const RNSPoly &b)
     out.setFormat(Format::Eval);
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
+    LimbPartition &op = out.partition();
+    const LimbPartition &ap = a.partition();
+    const LimbPartition &bp = b.partition();
     forBatches(ctx, out.numLimbs(), 2 * n * kWord, n * kWord, 5 * n,
-               [&](std::size_t lo, std::size_t hi) {
+               [&ctx, &op, &ap, &bp, n](std::size_t lo,
+                                        std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            const Modulus &m = ctx.prime(out.primeIdxAt(i)).mod;
-            mulSpan(ctx, out.limb(i).data(), a.limb(i).data(),
-                    b.limb(i).data(), n, m);
+            const Modulus &m = ctx.prime(op[i].primeIdx()).mod;
+            mulSpan(ctx, op[i].data(), ap[i].data(), bp[i].data(), n,
+                    m);
         }
-    }, [&](std::size_t i) { return out.primeIdxAt(i); });
+    }, [&op](std::size_t i) { return op[i].primeIdx(); },
+       {wr(out), rd(a), rd(b)});
 }
 
 void
@@ -216,14 +331,19 @@ mulAddInto(RNSPoly &acc, const RNSPoly &a, const RNSPoly &b)
                  acc.numLimbs() <= b.numLimbs());
     const auto &ctx = acc.context();
     const std::size_t n = ctx.degree();
+    LimbPartition &cp = acc.partition();
+    const LimbPartition &ap = a.partition();
+    const LimbPartition &bp = b.partition();
     forBatches(ctx, acc.numLimbs(), 3 * n * kWord, n * kWord, 6 * n,
-               [&](std::size_t lo, std::size_t hi) {
+               [&ctx, &cp, &ap, &bp, n](std::size_t lo,
+                                        std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            const Modulus &m = ctx.prime(acc.primeIdxAt(i)).mod;
-            mulAddSpan(ctx, acc.limb(i).data(), a.limb(i).data(),
-                       b.limb(i).data(), n, m);
+            const Modulus &m = ctx.prime(cp[i].primeIdx()).mod;
+            mulAddSpan(ctx, cp[i].data(), ap[i].data(), bp[i].data(),
+                       n, m);
         }
-    }, [&](std::size_t i) { return acc.primeIdxAt(i); });
+    }, [&cp](std::size_t i) { return cp[i].primeIdx(); },
+       {wr(acc), rd(a), rd(b)});
 }
 
 void
@@ -232,17 +352,19 @@ scalarMulInto(RNSPoly &a, const std::vector<u64> &scalar)
     FIDES_ASSERT(scalar.size() >= a.numLimbs());
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
+    LimbPartition &ap = a.partition();
+    // The scalar vector is caller stack state: copy it into the body.
     forBatches(ctx, a.numLimbs(), n * kWord, n * kWord, 3 * n,
-               [&](std::size_t lo, std::size_t hi) {
+               [&ctx, &ap, n, scalar](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            u64 p = ctx.prime(a.primeIdxAt(i)).value();
+            u64 p = ctx.prime(ap[i].primeIdx()).value();
             u64 w = scalar[i];
             u64 ws = shoupPrecompute(w, p);
-            u64 *x = a.limb(i).data();
+            u64 *x = ap[i].data();
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = mulModShoup(x[j], w, ws, p);
         }
-    }, [&](std::size_t i) { return a.primeIdxAt(i); });
+    }, [&ap](std::size_t i) { return ap[i].primeIdx(); }, {wr(a)});
 }
 
 void
@@ -251,16 +373,17 @@ scalarAddInto(RNSPoly &a, const std::vector<u64> &scalar)
     FIDES_ASSERT(scalar.size() >= a.numLimbs());
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
+    LimbPartition &ap = a.partition();
     forBatches(ctx, a.numLimbs(), n * kWord, n * kWord, n,
-               [&](std::size_t lo, std::size_t hi) {
+               [&ctx, &ap, n, scalar](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            u64 p = ctx.prime(a.primeIdxAt(i)).value();
+            u64 p = ctx.prime(ap[i].primeIdx()).value();
             u64 c = scalar[i];
-            u64 *x = a.limb(i).data();
+            u64 *x = ap[i].data();
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = addMod(x[j], c, p);
         }
-    }, [&](std::size_t i) { return a.primeIdxAt(i); });
+    }, [&ap](std::size_t i) { return ap[i].primeIdx(); }, {wr(a)});
 }
 
 void
@@ -269,16 +392,17 @@ scalarSubFrom(RNSPoly &a, const std::vector<u64> &scalar)
     FIDES_ASSERT(scalar.size() >= a.numLimbs());
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
+    LimbPartition &ap = a.partition();
     forBatches(ctx, a.numLimbs(), n * kWord, n * kWord, n,
-               [&](std::size_t lo, std::size_t hi) {
+               [&ctx, &ap, n, scalar](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            u64 p = ctx.prime(a.primeIdxAt(i)).value();
+            u64 p = ctx.prime(ap[i].primeIdx()).value();
             u64 c = scalar[i];
-            u64 *x = a.limb(i).data();
+            u64 *x = ap[i].data();
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = subMod(c, x[j], p);
         }
-    }, [&](std::size_t i) { return a.primeIdxAt(i); });
+    }, [&ap](std::size_t i) { return ap[i].primeIdx(); }, {wr(a)});
 }
 
 void
@@ -324,12 +448,13 @@ toEval(RNSPoly &a)
     const std::size_t n = ctx.degree();
     const u64 logN = ctx.logDegree();
     const u64 passes = nttPassesPerLimb(ctx);
+    LimbPartition &ap = a.partition();
     forBatches(ctx, a.numLimbs(), passes * n * kWord,
                passes * n * kWord, 5 * n * logN,
-               [&](std::size_t lo, std::size_t hi) {
+               [&ctx, &ap](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
-            nttLimb(ctx, a.limb(i).data(), a.primeIdxAt(i));
-    }, [&](std::size_t i) { return a.primeIdxAt(i); });
+            nttLimb(ctx, ap[i].data(), ap[i].primeIdx());
+    }, [&ap](std::size_t i) { return ap[i].primeIdx(); }, {wr(a)});
     a.setFormat(Format::Eval);
 }
 
@@ -341,12 +466,13 @@ toCoeff(RNSPoly &a)
     const std::size_t n = ctx.degree();
     const u64 logN = ctx.logDegree();
     const u64 passes = nttPassesPerLimb(ctx);
+    LimbPartition &ap = a.partition();
     forBatches(ctx, a.numLimbs(), passes * n * kWord,
                passes * n * kWord, 5 * n * logN,
-               [&](std::size_t lo, std::size_t hi) {
+               [&ctx, &ap](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
-            inttLimb(ctx, a.limb(i).data(), a.primeIdxAt(i));
-    }, [&](std::size_t i) { return a.primeIdxAt(i); });
+            inttLimb(ctx, ap[i].data(), ap[i].primeIdx());
+    }, [&ap](std::size_t i) { return ap[i].primeIdx(); }, {wr(a)});
     a.setFormat(Format::Coeff);
 }
 
@@ -358,15 +484,20 @@ automorph(RNSPoly &out, const RNSPoly &in, const std::vector<u32> &perm)
     const auto &ctx = in.context();
     const std::size_t n = ctx.degree();
     out.setFormat(Format::Eval);
+    LimbPartition &op = out.partition();
+    const LimbPartition &ip = in.partition();
+    // perm lives in the Context's automorphism cache (node-stable).
+    const u32 *pm = perm.data();
     forBatches(ctx, in.numLimbs(), n * kWord, n * kWord, 0,
-               [&](std::size_t lo, std::size_t hi) {
+               [&op, &ip, pm, n](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            const u64 *src = in.limb(i).data();
-            u64 *dst = out.limb(i).data();
+            const u64 *src = ip[i].data();
+            u64 *dst = op[i].data();
             for (std::size_t j = 0; j < n; ++j)
-                dst[j] = src[perm[j]];
+                dst[j] = src[pm[j]];
         }
-    }, [&](std::size_t i) { return in.primeIdxAt(i); });
+    }, [&ip](std::size_t i) { return ip[i].primeIdx(); },
+       {wr(out), rd(in)});
 }
 
 void
@@ -378,12 +509,14 @@ mulByMonomial(RNSPoly &a, u64 k)
     k %= 2 * n;
     if (k == 0)
         return;
+    LimbPartition &ap = a.partition();
     forBatches(ctx, a.numLimbs(), n * kWord, n * kWord, n,
-               [&](std::size_t lo, std::size_t hi) {
+               [&ctx, &ap, n, k](std::size_t lo, std::size_t hi) {
+        // Per-batch scratch: batches run on concurrent streams.
         std::vector<u64> tmp(n);
         for (std::size_t i = lo; i < hi; ++i) {
-            u64 p = ctx.prime(a.primeIdxAt(i)).value();
-            u64 *x = a.limb(i).data();
+            u64 p = ctx.prime(ap[i].primeIdx()).value();
+            u64 *x = ap[i].data();
             // X^j * X^k = sign * X^((j+k) mod n), negacyclic wrap.
             for (std::size_t j = 0; j < n; ++j) {
                 std::size_t jj = j + static_cast<std::size_t>(k);
@@ -393,7 +526,7 @@ mulByMonomial(RNSPoly &a, u64 k)
             }
             std::copy(tmp.begin(), tmp.end(), x);
         }
-    }, [&](std::size_t i) { return a.primeIdxAt(i); });
+    }, [&ap](std::size_t i) { return ap[i].primeIdx(); }, {wr(a)});
 }
 
 void

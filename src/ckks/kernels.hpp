@@ -7,11 +7,19 @@
  * batch, Section III-F1), reports its memory traffic and integer-op
  * counts for the platform roofline model, and uses the configured
  * modular-reduction strategy (Section III-F2).
+ *
+ * Execution is asynchronous and stream-ordered: forBatches declares
+ * the kernel's operands (Dep list), waits device-side on the events
+ * of earlier kernels that conflict, records one Event per batch onto
+ * the operand limbs, and returns without joining the host. The only
+ * host barriers left in the library are genuine host reads
+ * (RNSPoly::syncHost callers).
  */
 
 #pragma once
 
 #include <functional>
+#include <initializer_list>
 #include <vector>
 
 #include "ckks/rnspoly.hpp"
@@ -19,14 +27,67 @@
 namespace fideslib::ckks::kernels
 {
 
+/** How a kernel touches one operand. Write covers read-modify-write:
+ *  a writer waits on earlier writers AND readers of the limb, so no
+ *  separate ReadWrite mode is needed. */
+enum class Access : unsigned char { Read, Write };
+
+/**
+ * One operand of a logical kernel, for hazard tracking. By default
+ * kernel position i maps to limb (offset + i) of the polynomial --
+ * every kernel iterates aligned limb ranges. Two variants cover the
+ * rest:
+ *
+ *  - fixed: the dependency is on the single limb [offset] for every
+ *    batch (modRaise reads limb 0 while writing limbs 1..L);
+ *  - whole: the dependency covers every limb of the polynomial
+ *    regardless of batch (key material in the key-switch inner
+ *    product, whose limb mapping is not positional).
+ */
+struct Dep
+{
+    const RNSPoly *poly = nullptr;
+    std::size_t offset = 0;
+    Access mode = Access::Read;
+    bool fixed = false;
+    bool whole = false;
+};
+
+inline Dep
+rd(const RNSPoly &p, std::size_t offset = 0)
+{
+    return {&p, offset, Access::Read, false, false};
+}
+
+inline Dep
+wr(RNSPoly &p, std::size_t offset = 0)
+{
+    return {&p, offset, Access::Write, false, false};
+}
+
+inline Dep
+rdFixed(const RNSPoly &p, std::size_t limb)
+{
+    return {&p, limb, Access::Read, true, false};
+}
+
+inline Dep
+rdWhole(const RNSPoly &p)
+{
+    return {&p, 0, Access::Read, false, true};
+}
+
 /**
  * Runs @p fn(limbLo, limbHi) over [0, numLimbs) in batches of the
  * context's limb-batch size, accounting one kernel launch per batch
  * with the given per-limb traffic estimates. Batches are dispatched
  * round-robin onto the context's streams and run concurrently (they
- * must touch disjoint state); the call returns only after every batch
- * has retired, so each logical kernel is a synchronization barrier.
- * With a single stream the batches run inline, bit-identically to the
+ * must touch disjoint state). The call does NOT join the host: each
+ * batch waits stream-side on the events of earlier conflicting
+ * kernels (derived from @p deps) and records its own completion
+ * event onto the operand limbs, so a chain of kernels pipelines
+ * freely until something genuinely reads results on the host. With a
+ * single stream the batches run inline, bit-identically to any
  * multi-stream schedule.
  *
  * @p primeAt maps a limb position to its global prime index. When
@@ -36,12 +97,27 @@ namespace fideslib::ckks::kernels
  * where the data lives and no simulated kernel ever touches a peer
  * device's memory. Without it (shape-free helpers, microbenches)
  * batches round-robin over all streams.
+ *
+ * Lifetime contract: @p fn is copied once (shared by all batches) and
+ * may run after this call returns, so it must capture operand
+ * partitions by reference (heap-stable; forBatches keeps them alive
+ * via the Dep keep-alives) or host temporaries by value /
+ * shared_ptr -- never stack RNSPoly objects or caller-owned buffers
+ * by reference. @p extraWaits adds events every batch must wait for
+ * on top of the operand hazards (used when an input was produced by
+ * a non-forBatches dispatch, e.g. base conversion). @p recorded, when
+ * non-null, receives the per-batch completion events -- the handle a
+ * caller needs to chain kernels through operands the Dep model cannot
+ * describe (host scratch buffers). Empty after an inline run.
  */
 void forBatches(const Context &ctx, std::size_t numLimbs,
                 u64 bytesReadPerLimb, u64 bytesWrittenPerLimb,
                 u64 intOpsPerLimb,
                 const std::function<void(std::size_t, std::size_t)> &fn,
-                const std::function<u32(std::size_t)> &primeAt = {});
+                const std::function<u32(std::size_t)> &primeAt = {},
+                std::initializer_list<Dep> deps = {},
+                const std::vector<Event> &extraWaits = {},
+                std::vector<Event> *recorded = nullptr);
 
 // --- element-wise ring operations (any format, matching limbs) -------
 
@@ -79,7 +155,8 @@ void inttLimb(const Context &ctx, u64 *data, u32 primeIdx);
 
 /**
  * Galois automorphism in the evaluation domain: out[j] = in[perm[j]]
- * per limb. @p out must have the same shape as @p in.
+ * per limb. @p out must have the same shape as @p in. @p perm must
+ * outlive the kernel (the Context's automorphism cache does).
  */
 void automorph(RNSPoly &out, const RNSPoly &in,
                const std::vector<u32> &perm);

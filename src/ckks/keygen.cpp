@@ -12,6 +12,7 @@ embedSigned(const Context &ctx, const std::vector<i64> &coeffs,
 {
     const std::size_t n = ctx.degree();
     FIDES_ASSERT(coeffs.size() == n);
+    out.syncHost(); // host write: join on pending readers/writers
     out.setFormat(Format::Coeff);
     for (std::size_t i = 0; i < out.numLimbs(); ++i) {
         const u64 p = ctx.prime(out.primeIdxAt(i)).value();

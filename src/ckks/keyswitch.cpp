@@ -23,23 +23,32 @@ mulAddMapped(RNSPoly &acc, const RNSPoly &src, const RNSPoly &keyPoly,
     const Context &ctx = acc.context();
     const std::size_t n = ctx.degree();
     const u32 L = ctx.maxLevel();
+    LimbPartition &accP = acc.partition();
+    const LimbPartition &srcP = src.partition();
+    const LimbPartition &keyP = keyPoly.partition();
+    // perm (when set) lives in the Context's automorphism cache.
+    const u32 *pm = perm ? perm->data() : nullptr;
 
+    // The key's limb mapping is not positional (special limbs sit at
+    // L+1+k in the full basis), so it is declared as a whole-poly
+    // read dependency.
     kernels::forBatches(ctx, acc.numLimbs(), 3 * n * kWord, n * kWord,
                         6 * n,
-                        [&](std::size_t lo, std::size_t hi) {
+                        [&ctx, &accP, &srcP, &keyP, pm, n,
+                         L](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            const u32 gi = acc.primeIdxAt(i);
+            const u32 gi = accP[i].primeIdx();
             const Modulus &m = ctx.prime(gi).mod;
             // Limb of global prime gi in the full-basis key: q-limb
             // gi sits at position gi, special limb k at L+1+k.
-            const std::size_t keyPos = gi <= L ? gi : L + 1 + (gi - (L + 1));
-            const u64 *kp = keyPoly.limb(keyPos).data();
-            const u64 *s = src.limb(i).data();
-            u64 *x = acc.limb(i).data();
+            const std::size_t keyPos =
+                gi <= L ? gi : L + 1 + (gi - (L + 1));
+            const u64 *kp = keyP[keyPos].data();
+            const u64 *s = srcP[i].data();
+            u64 *x = accP[i].data();
             const bool barrett =
                 ctx.modMulKind() == ModMulKind::Barrett;
-            if (perm) {
-                const u32 *pm = perm->data();
+            if (pm) {
                 for (std::size_t j = 0; j < n; ++j) {
                     u64 prod = barrett
                                    ? mulModBarrett(s[pm[j]], kp[j], m)
@@ -56,7 +65,8 @@ mulAddMapped(RNSPoly &acc, const RNSPoly &src, const RNSPoly &keyPoly,
                 }
             }
         }
-    }, [&](std::size_t i) { return acc.primeIdxAt(i); });
+    }, [&accP](std::size_t i) { return accP[i].primeIdx(); },
+       {kernels::wr(acc), kernels::rd(src), kernels::rdWhole(keyPoly)});
 }
 
 } // namespace

@@ -10,38 +10,66 @@ namespace fideslib::ckks
 
 RNSPoly::RNSPoly(const Context &ctx, u32 level, Format fmt,
                  u32 specialLimbs)
-    : ctx_(&ctx), level_(level), special_(specialLimbs), format_(fmt)
+    : ctx_(&ctx), level_(level), special_(specialLimbs), format_(fmt),
+      part_(std::make_shared<LimbPartition>())
 {
     FIDES_ASSERT(level <= ctx.maxLevel());
     FIDES_ASSERT(specialLimbs <= ctx.numSpecial());
+    // Reserve the maximum capacity once: limb addresses stay stable
+    // across appendSpecialLimbs/dropLimb while kernels are in flight.
+    part_->reserve(ctx.maxLevel() + 1 + ctx.numSpecial());
     for (u32 i = 0; i <= level; ++i)
-        part_.push(Limb(ctx, i));
+        part_->push(Limb(ctx, i));
     for (u32 k = 0; k < specialLimbs; ++k)
-        part_.push(Limb(ctx, ctx.specialIdx(k)));
+        part_->push(Limb(ctx, ctx.specialIdx(k)));
 }
 
 RNSPoly
 RNSPoly::clone() const
 {
     RNSPoly c(*ctx_, level_, format_, special_);
-    // Device-to-device copy: batched and accounted like any kernel.
+    // Device-to-device copy: batched, accounted and event-chained
+    // like any kernel.
     const std::size_t n = ctx_->degree();
-    kernels::forBatches(*ctx_, part_.size(), n * sizeof(u64),
+    const LimbPartition &sp = *part_;
+    LimbPartition &dp = *c.part_;
+    kernels::forBatches(*ctx_, part_->size(), n * sizeof(u64),
                         n * sizeof(u64), 0,
-                        [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-            std::memcpy(c.part_[i].data(), part_[i].data(),
-                        part_[i].size() * sizeof(u64));
-        }
-    }, [&](std::size_t i) { return part_[i].primeIdx(); });
+                        [&sp, &dp, n](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            std::memcpy(dp[i].data(), sp[i].data(), n * sizeof(u64));
+    }, [&sp](std::size_t i) { return sp[i].primeIdx(); },
+       {kernels::rd(*this), kernels::wr(c)});
     return c;
 }
 
 void
 RNSPoly::setZero()
 {
-    for (std::size_t i = 0; i < part_.size(); ++i)
-        std::memset(part_[i].data(), 0, part_[i].size() * sizeof(u64));
+    syncHost(); // host write below
+    for (std::size_t i = 0; i < part_->size(); ++i) {
+        std::memset((*part_)[i].data(), 0,
+                    (*part_)[i].size() * sizeof(u64));
+    }
+}
+
+void
+RNSPoly::syncHost() const
+{
+    if (!hasPendingWork())
+        return;
+    ctx_->devices().noteHostJoin();
+    for (std::size_t i = 0; i < part_->size(); ++i)
+        (*part_)[i].syncHost();
+}
+
+bool
+RNSPoly::hasPendingWork() const
+{
+    for (std::size_t i = 0; i < part_->size(); ++i)
+        if ((*part_)[i].hasPending())
+            return true;
+    return false;
 }
 
 void
@@ -49,7 +77,16 @@ RNSPoly::dropLimb()
 {
     FIDES_ASSERT(special_ == 0);
     FIDES_ASSERT(level_ > 0);
-    part_.pop();
+    // In-flight bodies that touch the top limb index its slot; join
+    // on them before the slot is destroyed. (Their batch events cover
+    // every limb the batch touches, so this waits exactly the bodies
+    // that can still dereference the slot.)
+    const Limb &top = (*part_)[part_->size() - 1];
+    if (top.hasPending()) {
+        ctx_->devices().noteHostJoin();
+        top.syncHost();
+    }
+    part_->pop();
     --level_;
 }
 
@@ -60,7 +97,7 @@ RNSPoly::appendSpecialLimbs()
     for (u32 k = 0; k < ctx_->numSpecial(); ++k) {
         Limb l(*ctx_, ctx_->specialIdx(k));
         std::memset(l.data(), 0, l.size() * sizeof(u64));
-        part_.push(std::move(l));
+        part_->push(std::move(l));
     }
     special_ = ctx_->numSpecial();
 }
@@ -68,8 +105,18 @@ RNSPoly::appendSpecialLimbs()
 void
 RNSPoly::dropSpecialLimbs()
 {
-    for (u32 k = 0; k < special_; ++k)
-        part_.pop();
+    bool joined = false;
+    for (u32 k = 0; k < special_; ++k) {
+        const Limb &top = (*part_)[part_->size() - 1];
+        if (top.hasPending()) {
+            if (!joined) {
+                ctx_->devices().noteHostJoin();
+                joined = true;
+            }
+            top.syncHost();
+        }
+        part_->pop();
+    }
     special_ = 0;
 }
 

@@ -12,10 +12,27 @@
  * blocks of the RNS base across the context's devices (Section III-B
  * multi-GPU partitioning -- with one device, this degenerates to the
  * paper's released single-GPU configuration).
+ *
+ * Completion tracking (the asynchronous execution model): each Limb
+ * remembers the Event of the last kernel that wrote it and of the
+ * last readers still in flight. kernels::forBatches consults these to
+ * chain kernels stream-side without host barriers; RNSPoly::syncHost
+ * is the explicit join used at genuine host reads (decode,
+ * serialization, adapters). All event bookkeeping happens on the
+ * single submitting (host) thread -- worker threads only ever touch
+ * Event completion state -- so the tracking needs no locks.
+ *
+ * Lifetime: the partition is held by shared_ptr. Kernel bodies
+ * capture the partition (never the stack RNSPoly) plus a keep-alive
+ * reference, so a temporary polynomial may be destroyed while its
+ * kernels are still queued; the buffers of limbs that die with
+ * pending events are handed to MemPool::deferRelease instead of being
+ * recycled under a running kernel.
  */
 
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "ckks/context.hpp"
@@ -40,21 +57,109 @@ class Limb
           primeIdx_(primeIdx)
     {}
 
+    Limb(Limb &&) = default;
+    Limb &operator=(Limb &&) = default;
+
+    ~Limb()
+    {
+        // A limb dying while kernels are still in flight (temporary
+        // polynomial destroyed right after its last kernel was
+        // enqueued) must not recycle its buffer under them: hand the
+        // allocation to the pool's deferred-free list keyed on the
+        // pending events.
+        if (dev_ && data_.managed() && hasPending()) {
+            std::vector<Event> ev;
+            collectPending(ev);
+            const std::size_t bytes = data_.size() * sizeof(u64);
+            dev_->pool().deferRelease(data_.detach(), bytes,
+                                      std::move(ev));
+        }
+    }
+
     u64 *data() { return data_.data(); }
     const u64 *data() const { return data_.data(); }
     std::size_t size() const { return data_.size(); }
     u32 primeIdx() const { return primeIdx_; }
     Device &device() const { return *dev_; }
 
+    // Completion tracking (host thread only). -------------------------
+    /** The event of the kernel that last wrote this limb supersedes
+     *  both the previous write and all outstanding reads (they are
+     *  ordered before it stream-side by forBatches). */
+    void
+    noteWrite(const Event &e) const
+    {
+        write_ = e;
+        reads_.clear();
+    }
+
+    /** Registers an in-flight reader; at most one event per stream is
+     *  kept (a later read on the same stream supersedes the earlier
+     *  one, streams being in-order). */
+    void
+    noteRead(const Event &e) const
+    {
+        for (Event &r : reads_) {
+            if (r.streamId() == e.streamId()) {
+                r = e;
+                return;
+            }
+        }
+        reads_.push_back(e);
+    }
+
+    const Event &lastWrite() const { return write_; }
+    const std::vector<Event> &lastReads() const { return reads_; }
+
+    bool
+    hasPending() const
+    {
+        if (!write_.ready())
+            return true;
+        for (const Event &r : reads_)
+            if (!r.ready())
+                return true;
+        return false;
+    }
+
+    void
+    collectPending(std::vector<Event> &out) const
+    {
+        if (!write_.ready())
+            out.push_back(write_);
+        for (const Event &r : reads_)
+            if (!r.ready())
+                out.push_back(r);
+    }
+
+    /** Host-blocks until every pending kernel on this limb retired,
+     *  then clears the tracking. */
+    void
+    syncHost() const
+    {
+        write_.synchronize();
+        for (const Event &r : reads_)
+            r.synchronize();
+        write_ = Event();
+        reads_.clear();
+    }
+
   private:
     Device *dev_;
     DeviceVector<u64> data_;
     u32 primeIdx_;
+    mutable Event write_;
+    mutable std::vector<Event> reads_;
 };
 
 /**
  * The limbs of one polynomial, sharded over the context's devices by
  * the block placement policy (each Limb records its owner).
+ *
+ * Storage is reserved up-front for the maximum limb count so the
+ * element addresses stay stable while kernels are in flight: a body
+ * running on a worker thread indexes limbs that were live when it was
+ * enqueued, and pushes/pops on the host never reallocate under it.
  */
 class LimbPartition
 {
@@ -63,6 +168,7 @@ class LimbPartition
     Limb &operator[](std::size_t i) { return limbs_[i]; }
     const Limb &operator[](std::size_t i) const { return limbs_[i]; }
 
+    void reserve(std::size_t n) { limbs_.reserve(n); }
     void push(Limb &&l) { limbs_.push_back(std::move(l)); }
     void pop() { limbs_.pop_back(); }
     void clear() { limbs_.clear(); }
@@ -93,37 +199,72 @@ class RNSPoly
     RNSPoly(const Context &ctx, u32 level, Format fmt,
             u32 specialLimbs = 0);
 
+    // The partition is shared with in-flight kernels as a keep-alive,
+    // never between two live polynomials: copying is explicit
+    // (clone()), moving transfers the handle.
+    RNSPoly(const RNSPoly &) = delete;
+    RNSPoly &operator=(const RNSPoly &) = delete;
+    RNSPoly(RNSPoly &&) = default;
+    RNSPoly &operator=(RNSPoly &&) = default;
+
     const Context &context() const { return *ctx_; }
     u32 level() const { return level_; }
     u32 numSpecial() const { return special_; }
     /** Total number of limbs, q plus special. */
-    std::size_t numLimbs() const { return part_.size(); }
+    std::size_t numLimbs() const { return part_->size(); }
     Format format() const { return format_; }
     void setFormat(Format f) { format_ = f; }
 
     /** Limb by position: 0..level are q-limbs, then special limbs. */
-    Limb &limb(std::size_t i) { return part_[i]; }
-    const Limb &limb(std::size_t i) const { return part_[i]; }
+    Limb &limb(std::size_t i) { return (*part_)[i]; }
+    const Limb &limb(std::size_t i) const { return (*part_)[i]; }
 
     /** Global prime index of limb position i. */
-    u32 primeIdxAt(std::size_t i) const { return part_[i].primeIdx(); }
+    u32 primeIdxAt(std::size_t i) const
+    {
+        return (*part_)[i].primeIdx();
+    }
 
-    LimbPartition &partition() { return part_; }
-    const LimbPartition &partition() const { return part_; }
+    LimbPartition &partition() { return *part_; }
+    const LimbPartition &partition() const { return *part_; }
+
+    /**
+     * Shared handle to the partition, used by the kernel layer as the
+     * keep-alive its queued bodies capture (the partition, hence
+     * every limb buffer, outlives the last kernel that touches it
+     * even if this RNSPoly is destroyed first).
+     */
+    std::shared_ptr<LimbPartition> partShared() const { return part_; }
 
     /** Deep copy. */
     RNSPoly clone() const;
 
-    /** Fills every limb with zeros. */
+    /** Fills every limb with zeros (host write: joins if pending). */
     void setZero();
 
-    /** Drops the top q-limb (Rescale bookkeeping). */
+    /**
+     * Host join: blocks until every kernel that reads or writes this
+     * polynomial has retired. Required before any host-side access to
+     * limb data (decode, serialization, adapters). No-op -- and not
+     * counted as a join -- when nothing is pending.
+     */
+    void syncHost() const;
+
+    /** True if any kernel on this polynomial is still in flight. */
+    bool hasPendingWork() const;
+
+    /** Drops the top q-limb (level-reduction bookkeeping). Joins on
+     *  the dropped limb's pending kernels first: in-flight bodies
+     *  index the live limb vector, so the slot cannot be destroyed
+     *  under them. */
     void dropLimb();
 
     /** Appends zeroed special limbs (pre-ModUp working form). */
     void appendSpecialLimbs();
 
-    /** Removes the special limbs (post-ModDown). */
+    /** Removes the special limbs (post-ModDown). Joins like
+     *  dropLimb; the hot ModDown path avoids this by building a
+     *  fresh result polynomial instead. */
     void dropSpecialLimbs();
 
   private:
@@ -131,7 +272,7 @@ class RNSPoly
     u32 level_;
     u32 special_;
     Format format_;
-    LimbPartition part_;
+    std::shared_ptr<LimbPartition> part_;
 };
 
 } // namespace fideslib::ckks

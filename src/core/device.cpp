@@ -35,6 +35,17 @@ platformTable()
 
 MemPool::~MemPool()
 {
+    // The destructor is the only host-blocking reclamation point:
+    // wait for every deferred free's events, then sweep. Streams are
+    // destroyed (drained) before their device's pool, so by the time
+    // a Context tears down these waits are trivially satisfied.
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        for (auto &d : deferred_)
+            for (const Event &e : d.events)
+                e.synchronize();
+        sweepDeferredLocked();
+    }
     // Every DeviceVector must have been destroyed before its pool:
     // devices live in the Context's DeviceSet, so polynomials cannot
     // outlive the Context they were created under.
@@ -46,6 +57,8 @@ void *
 MemPool::allocate(std::size_t bytes)
 {
     std::lock_guard<std::mutex> lock(m_);
+    if (!deferred_.empty())
+        sweepDeferredLocked();
     ++allocCalls_;
     bytesInUse_ += bytes;
     bytesPeak_ = std::max(bytesPeak_, bytesInUse_);
@@ -66,6 +79,12 @@ void
 MemPool::release(void *ptr, std::size_t bytes)
 {
     std::lock_guard<std::mutex> lock(m_);
+    releaseLocked(ptr, bytes);
+}
+
+void
+MemPool::releaseLocked(void *ptr, std::size_t bytes)
+{
     FIDES_ASSERT(bytesInUse_ >= bytes);
     bytesInUse_ -= bytes;
     bytesCached_ += bytes;
@@ -76,9 +95,40 @@ MemPool::release(void *ptr, std::size_t bytes)
 }
 
 void
+MemPool::deferRelease(void *ptr, std::size_t bytes,
+                      std::vector<Event> events)
+{
+    if (!ptr)
+        return;
+    // Drop already-signalled events; if none remain the free is
+    // immediate.
+    std::erase_if(events, [](const Event &e) { return e.ready(); });
+    std::lock_guard<std::mutex> lock(m_);
+    if (events.empty()) {
+        releaseLocked(ptr, bytes);
+        return;
+    }
+    ++deferredFrees_;
+    deferred_.push_back({ptr, bytes, std::move(events)});
+}
+
+void
+MemPool::sweepDeferredLocked()
+{
+    std::erase_if(deferred_, [this](DeferredFree &d) {
+        for (const Event &e : d.events)
+            if (!e.ready())
+                return false;
+        releaseLocked(d.ptr, d.bytes);
+        return true;
+    });
+}
+
+void
 MemPool::trim()
 {
     std::lock_guard<std::mutex> lock(m_);
+    sweepDeferredLocked();
     trimLocked();
 }
 
@@ -119,6 +169,13 @@ MemPool::poolHits() const
 {
     std::lock_guard<std::mutex> lock(m_);
     return poolHits_;
+}
+
+u64
+MemPool::deferredFrees() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return deferredFrees_;
 }
 
 // --- Device ----------------------------------------------------------------
@@ -174,6 +231,44 @@ Stream::submit(std::function<void()> task)
     queue_.push_back(std::move(task));
     ++inFlight_;
     wake_.notify_one();
+}
+
+Event
+Stream::record()
+{
+    auto st = std::make_shared<Event::State>();
+    st->streamId = id_;
+    std::lock_guard<std::mutex> lock(m_);
+    FIDES_ASSERT(!stop_);
+    if (inFlight_ == 0) {
+        // Idle stream: everything before the record has retired, so
+        // the event is born signalled (and an inline schedule never
+        // spawns a worker just to flip a flag).
+        st->done.store(true, std::memory_order_release);
+        return Event(std::move(st));
+    }
+    if (!worker_.joinable())
+        worker_ = std::thread(&Stream::workerLoop, this);
+    queue_.push_back([st] {
+        {
+            std::lock_guard<std::mutex> lock(st->m);
+            st->done.store(true, std::memory_order_release);
+        }
+        st->cv.notify_all();
+    });
+    ++inFlight_;
+    wake_.notify_one();
+    return Event(std::move(st));
+}
+
+void
+Stream::wait(const Event &e)
+{
+    // In-order execution makes waiting on this stream's own earlier
+    // events (and on anything already signalled) redundant.
+    if (e.ready() || e.streamId() == id_)
+        return;
+    submit([e] { e.synchronize(); });
 }
 
 void
@@ -232,6 +327,7 @@ DeviceSet::DeviceSet(u32 numDevices, u32 streamsPerDevice,
 void
 DeviceSet::synchronize()
 {
+    noteHostJoin();
     for (auto &s : streams_)
         s->synchronize();
 }
@@ -250,6 +346,8 @@ DeviceSet::resetCounters()
 {
     for (auto &d : devices_)
         d->resetCounters();
+    hostJoins_.store(0, std::memory_order_relaxed);
+    logicalKernels_.store(0, std::memory_order_relaxed);
 }
 
 void

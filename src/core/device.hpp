@@ -25,11 +25,20 @@
  *                 CPU-side launch overhead (busy-wait, reproducing the
  *                 launch-bound regime of Figure 7) are paid on the
  *                 submitting thread, exactly like a real CUDA launch.
+ *  - Event        stream-ordered completion marker (cudaEvent_t):
+ *                 Stream::record() returns one, Stream::wait() makes
+ *                 another stream wait for it device-side, and
+ *                 Event::synchronize() blocks only the calling host
+ *                 thread. Events are how kernels chain without global
+ *                 barriers.
  *  - DeviceSet    N devices plus their streams; provides round-robin
  *                 stream selection (global and per-device), the
- *                 kernel-boundary barrier, and per-device counter
- *                 aggregation. The limb -> device placement policy
- *                 lives on the Context (it depends on the RNS base).
+ *                 full join used at teardown/benchmark boundaries,
+ *                 and per-device counter aggregation, plus the
+ *                 host-join/logical-kernel counters that expose how
+ *                 rarely the asynchronous schedule blocks the host.
+ *                 The limb -> device placement policy lives on the
+ *                 Context (it depends on the RNS base).
  *  - KernelCounters / DeviceProfile
  *                 every kernel reports bytes touched and integer op
  *                 counts; a roofline model over the platform table
@@ -42,6 +51,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
@@ -59,6 +69,74 @@
 
 namespace fideslib
 {
+
+/**
+ * A stream-ordered completion marker, the stand-in for cudaEvent_t.
+ *
+ * An Event is recorded on a stream (Stream::record) and signals once
+ * every task submitted to that stream before the record has retired.
+ * Other streams can wait on it device-side (Stream::wait) and the
+ * host can block on it (synchronize) -- blocking only the caller,
+ * never the devices. Events are cheap shared handles: copies observe
+ * the same completion state, and a signalled event stays signalled
+ * forever (waiters that arrive late return immediately).
+ *
+ * A default-constructed Event is null: always ready, waits are
+ * no-ops. This is what single-stream (inline) execution uses.
+ */
+class Event
+{
+  public:
+    Event() = default;
+
+    bool valid() const { return st_ != nullptr; }
+
+    /** Non-blocking completion poll. Null events are always ready. */
+    bool
+    ready() const
+    {
+        return !st_ || st_->done.load(std::memory_order_acquire);
+    }
+
+    /** Blocks the calling host thread until the event signals.
+     *  Idempotent: synchronizing twice (or a signalled event) is a
+     *  no-op. */
+    void
+    synchronize() const
+    {
+        if (ready())
+            return;
+        std::unique_lock<std::mutex> lock(st_->m);
+        st_->cv.wait(lock, [this] {
+            return st_->done.load(std::memory_order_acquire);
+        });
+    }
+
+    /** Global id of the stream the event was recorded on. */
+    u32 streamId() const { return st_ ? st_->streamId : 0; }
+
+    /** Two events are the same iff they share completion state. */
+    bool
+    sameAs(const Event &o) const
+    {
+        return st_ == o.st_;
+    }
+
+  private:
+    friend class Stream;
+
+    struct State
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        std::atomic<bool> done{false};
+        u32 streamId = 0;
+    };
+
+    explicit Event(std::shared_ptr<State> st) : st_(std::move(st)) {}
+
+    std::shared_ptr<State> st_;
+};
 
 /** Aggregate work counters reported by every kernel launch. */
 struct KernelCounters
@@ -113,24 +191,48 @@ class MemPool
     void *allocate(std::size_t bytes);
     void release(void *ptr, std::size_t bytes);
 
+    /**
+     * Releases a buffer that kernels may still be touching: the
+     * buffer stays owned by the pool's deferred list (and counted as
+     * in-use) until every @p events entry has signalled, then it is
+     * recycled like a normal free. This is the stream-ordered free of
+     * cudaFreeAsync -- the host never blocks; reclamation happens
+     * opportunistically on later allocate()/trim() calls, and the
+     * destructor is the only place that waits.
+     */
+    void deferRelease(void *ptr, std::size_t bytes,
+                      std::vector<Event> events);
+
     u64 bytesInUse() const;
     u64 bytesPeak() const;
     u64 allocCalls() const;
     u64 poolHits() const;
+    u64 deferredFrees() const;
 
     /** Returns cached blocks to the host allocator. */
     void trim();
 
   private:
+    struct DeferredFree
+    {
+        void *ptr;
+        std::size_t bytes;
+        std::vector<Event> events;
+    };
+
     void trimLocked();
+    void sweepDeferredLocked();
+    void releaseLocked(void *ptr, std::size_t bytes);
 
     mutable std::mutex m_;
     std::map<std::size_t, std::vector<void *>> freeLists_;
+    std::vector<DeferredFree> deferred_;
     u64 bytesInUse_ = 0;
     u64 bytesPeak_ = 0;
     u64 bytesCached_ = 0;
     u64 allocCalls_ = 0;
     u64 poolHits_ = 0;
+    u64 deferredFrees_ = 0;
 };
 
 /**
@@ -200,6 +302,23 @@ class Stream
     /** Enqueues @p task; returns immediately. */
     void submit(std::function<void()> task);
 
+    /**
+     * Records a completion event after everything currently enqueued
+     * (cudaEventRecord). If the stream is idle the event is returned
+     * already signalled, so an inline (no-worker) schedule never
+     * spawns a thread just to signal.
+     */
+    Event record();
+
+    /**
+     * Makes work submitted to THIS stream after the call wait for
+     * @p e device-side (cudaStreamWaitEvent): the worker blocks, the
+     * host returns immediately. Signalled/null events, and events
+     * recorded earlier on this same stream, are no-ops -- in-order
+     * execution already covers them.
+     */
+    void wait(const Event &e);
+
     /** Blocks until the queue is empty and the worker is idle. */
     void synchronize();
 
@@ -252,7 +371,12 @@ class DeviceSet
                          (k % streamsPerDevice_) * numDevices()];
     }
 
-    /** Barrier: blocks until every stream on every device is idle. */
+    /**
+     * Full join: blocks until every stream on every device is idle.
+     * No longer called per logical kernel -- only at genuine host
+     * boundaries (benchmark iteration edges, teardown). Counted as
+     * one host join.
+     */
     void synchronize();
 
     /** Sum of the per-device kernel counters. */
@@ -263,10 +387,26 @@ class DeviceSet
     /** Total bytes currently allocated across all device pools. */
     u64 bytesInUse() const;
 
+    // Asynchrony accounting. ------------------------------------------
+    /** Called whenever the host actually blocks on device work (a
+     *  DeviceSet::synchronize, or an Event wait that found pending
+     *  work). The barrier model paid one of these per logical kernel;
+     *  the event model pays them only at true host reads. */
+    void noteHostJoin() { hostJoins_.fetch_add(1, std::memory_order_relaxed); }
+    u64 hostJoins() const { return hostJoins_.load(std::memory_order_relaxed); }
+
+    /** One per kernels::forBatches call (a "logical kernel"). The
+     *  barrier model joined the host after every one of these, so
+     *  logicalKernels() / hostJoins() is the measured join reduction. */
+    void noteLogicalKernel() { logicalKernels_.fetch_add(1, std::memory_order_relaxed); }
+    u64 logicalKernels() const { return logicalKernels_.load(std::memory_order_relaxed); }
+
   private:
     std::vector<std::unique_ptr<Device>> devices_;
     std::vector<std::unique_ptr<Stream>> streams_;
     u32 streamsPerDevice_ = 1;
+    std::atomic<u64> hostJoins_{0};
+    std::atomic<u64> logicalKernels_{0};
 };
 
 /**
@@ -350,6 +490,23 @@ class DeviceVector
         dev_->launch(size_ * sizeof(T), size_ * sizeof(T), 0);
         std::memcpy(c.data_, data_, size_ * sizeof(T));
         return c;
+    }
+
+    /**
+     * Relinquishes ownership of the buffer without releasing it to
+     * the pool; the caller becomes responsible (used to hand a
+     * still-pending buffer to MemPool::deferRelease). Returns nullptr
+     * for unmanaged or empty vectors.
+     */
+    T *
+    detach()
+    {
+        if (!owned_)
+            return nullptr;
+        owned_ = false;
+        T *p = data_;
+        data_ = nullptr;
+        return p;
     }
 
   private:

@@ -30,6 +30,9 @@ forEachLimb(RNSPoly &a,
             const std::function<void(std::size_t, const Modulus &,
                                      u64 *)> &fn)
 {
+    // The reference evaluator runs on the host thread: join on any
+    // backend kernels still writing the operand (genuine host read).
+    a.syncHost();
     const Context &ctx = a.context();
     for (std::size_t i = 0; i < a.numLimbs(); ++i)
         fn(i, ctx.prime(a.primeIdxAt(i)).mod, a.limb(i).data());
@@ -72,6 +75,9 @@ RNSPoly
 polyBinop(const RNSPoly &a, const RNSPoly &b,
           u64 (*op)(u64, u64, u64))
 {
+    // Host reads of possibly async-produced operands.
+    a.syncHost();
+    b.syncHost();
     const Context &ctx = a.context();
     const std::size_t n = ctx.degree();
     RNSPoly out(ctx, a.level(), a.format(), a.numSpecial());
@@ -187,6 +193,7 @@ refConvert(const Context &ctx, const std::vector<const u64 *> &src,
 RNSPoly
 refModUpDigit(const RNSPoly &coeffPoly, u32 digit)
 {
+    coeffPoly.syncHost();
     const Context &ctx = coeffPoly.context();
     const u32 level = coeffPoly.level();
     const auto &t = ctx.modUpTables(level, digit);
@@ -214,6 +221,7 @@ refModUpDigit(const RNSPoly &coeffPoly, u32 digit)
 void
 refModDown(RNSPoly &a)
 {
+    a.syncHost();
     const Context &ctx = a.context();
     const u32 level = a.level();
     const u32 K = ctx.numSpecial();
@@ -268,6 +276,9 @@ keySwitch(const RNSPoly &dEval, const EvalKey &key)
     acc0.setZero();
     acc1.setZero();
     for (u32 j = 0; j < ctx.numDigits(level); ++j) {
+        // The key material was produced by the asynchronous backend.
+        key.b[j].syncHost();
+        key.a[j].syncHost();
         RNSPoly raised = refModUpDigit(coeff, j);
         for (std::size_t i = 0; i < acc0.numLimbs(); ++i) {
             const u32 gi = acc0.primeIdxAt(i);
@@ -321,6 +332,7 @@ rescale(const Ciphertext &a)
     const u64 ql = ctx.qMod(l).value;
 
     Ciphertext r = a.clone();
+    r.syncHost(); // the clone kernels run asynchronously
     for (RNSPoly *poly : {&r.c0, &r.c1}) {
         std::vector<u64> last(poly->limb(l).data(),
                               poly->limb(l).data() + n);
@@ -375,6 +387,8 @@ applyGalois(const Ciphertext &a, u64 galois, const EvalKey &key)
     acc0.setZero();
     acc1.setZero();
     for (u32 j = 0; j < ctx.numDigits(level); ++j) {
+        key.b[j].syncHost();
+        key.a[j].syncHost();
         RNSPoly raised = refModUpDigit(coeff, j);
         for (std::size_t i = 0; i < acc0.numLimbs(); ++i) {
             const u32 gi = acc0.primeIdxAt(i);
@@ -401,6 +415,7 @@ applyGalois(const Ciphertext &a, u64 galois, const EvalKey &key)
     refModDown(acc1);
 
     RNSPoly c0(ctx, level, Format::Eval);
+    a.c0.syncHost(); // host read of the backend-produced input
     for (std::size_t i = 0; i <= level; ++i) {
         const Modulus &m = ctx.qMod(i);
         const u64 *s0 = a.c0.limb(i).data();

@@ -11,8 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
+#include <random>
+#include <thread>
 
+#include "ckks/basechange.hpp"
 #include "ckks/encryptor.hpp"
 #include "ckks/evaluator.hpp"
 #include "ckks/kernels.hpp"
@@ -68,6 +73,9 @@ runPipeline(Context &ctx, KeyGen &keygen, const KeyBundle &keys)
 void
 expectPolyEqual(const RNSPoly &a, const RNSPoly &b)
 {
+    // Genuine host read: join on any kernels still in flight.
+    a.syncHost();
+    b.syncHost();
     ASSERT_EQ(a.numLimbs(), b.numLimbs());
     for (std::size_t i = 0; i < a.numLimbs(); ++i) {
         ASSERT_EQ(a.primeIdxAt(i), b.primeIdxAt(i));
@@ -210,6 +218,232 @@ TEST(ExecutionAccounting, PolyCloneGoesThroughLaunchCounters)
     EXPECT_GE(after.launches, 1u);
     EXPECT_EQ(after.bytesRead, bytes);
     EXPECT_EQ(after.bytesWritten, bytes);
+}
+
+// --- Event unit tests -------------------------------------------------
+
+TEST(EventModel, RecordWaitOrdering)
+{
+    Device dev;
+    Stream s0(dev, 0), s1(dev, 1);
+    std::atomic<int> produced{0};
+    s0.submit([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        produced.store(1, std::memory_order_release);
+    });
+    Event e = s0.record();
+    // wait() enqueues the dependency device-side: the task submitted
+    // to s1 after the wait must observe the s0 task's effects.
+    s1.wait(e);
+    std::atomic<int> observed{-1};
+    s1.submit([&] {
+        observed.store(produced.load(std::memory_order_acquire));
+    });
+    s1.synchronize();
+    EXPECT_EQ(observed.load(), 1);
+    EXPECT_TRUE(e.ready());
+    // Double-synchronize is an idempotent no-op.
+    e.synchronize();
+    e.synchronize();
+    s0.synchronize();
+}
+
+TEST(EventModel, NullAndIdleStreamEventsAreBornSignalled)
+{
+    Event null;
+    EXPECT_FALSE(null.valid());
+    EXPECT_TRUE(null.ready());
+    null.synchronize(); // no-op
+
+    Device dev;
+    Stream s(dev, 0);
+    // Nothing in flight: record() must not spawn a worker thread just
+    // to flip a flag.
+    Event idle = s.record();
+    EXPECT_TRUE(idle.ready());
+    idle.synchronize();
+}
+
+TEST(EventModel, DestructionWithPendingWaiters)
+{
+    Device dev;
+    Stream s0(dev, 0), s1(dev, 1);
+    std::atomic<bool> ran{false};
+    {
+        s0.submit([] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        });
+        Event e = s0.record();
+        s1.wait(e);
+        // e goes out of scope here while s1's waiter still holds it.
+    }
+    s1.submit([&] { ran.store(true); });
+    s1.synchronize(); // completes once s0 signals the shared state
+    EXPECT_TRUE(ran.load());
+    s0.synchronize();
+}
+
+// --- Asynchronous pipelining -----------------------------------------
+
+/**
+ * A deterministic chain of kernels crossing every kernel family, with
+ * NO host synchronization between them: the stream-side event hazards
+ * alone must order the pipeline. Returns the final polynomial (still
+ * potentially in flight -- callers syncHost before reading).
+ */
+RNSPoly
+runKernelChain(Context &ctx, const std::vector<u32> &ops)
+{
+    const u32 L = ctx.maxLevel();
+    const std::size_t n = ctx.degree();
+
+    // Deterministic host-side fill of fresh polynomials (no kernels
+    // pending yet, so no sync needed).
+    RNSPoly a(ctx, L, Format::Coeff);
+    RNSPoly b(ctx, L, Format::Coeff);
+    std::mt19937_64 rng(12345);
+    for (RNSPoly *p : {&a, &b}) {
+        for (std::size_t i = 0; i < p->numLimbs(); ++i) {
+            const u64 q = ctx.prime(p->primeIdxAt(i)).value();
+            u64 *x = p->limb(i).data();
+            for (std::size_t j = 0; j < n; ++j)
+                x[j] = rng() % q;
+        }
+    }
+    kernels::toEval(a);
+    kernels::toEval(b);
+    RNSPoly acc(ctx, L, Format::Eval);
+    acc.setZero();
+
+    std::vector<u64> scalar(L + 1 + ctx.numSpecial());
+    for (std::size_t i = 0; i < scalar.size(); ++i)
+        scalar[i] = 3 + i;
+    const auto &perm = ctx.automorphPerm(ctx.rotationGaloisElt(1));
+
+    for (u32 op : ops) {
+        switch (op % 8) {
+        case 0: kernels::addInto(a, b); break;
+        case 1: kernels::subInto(b, a); break;
+        case 2: kernels::mulInto(a, b); break;
+        case 3: kernels::mulAddInto(acc, a, b); break;
+        case 4: kernels::negate(b); break;
+        case 5: kernels::scalarMulInto(a, scalar); break;
+        case 6: {
+            // Rotate through a temporary destroyed while its kernels
+            // may still be queued (exercises the keep-alives).
+            RNSPoly c(ctx, L, Format::Eval);
+            kernels::automorph(c, a, perm);
+            a = std::move(c);
+            break;
+        }
+        case 7: a = a.clone(); break;
+        }
+    }
+    kernels::addInto(a, acc);
+    return a;
+}
+
+TEST(ExecutionAsync, DeterminismStressAcrossRandomTopologies)
+{
+    // A seeded random kernel chain, long enough that batches from
+    // many kernels overlap in flight.
+    std::mt19937 rng(987654);
+    std::vector<u32> ops(64);
+    for (u32 &op : ops)
+        op = rng();
+
+    Context base(topologyParams(1, 1));
+    RNSPoly want = runKernelChain(base, ops);
+    want.syncHost();
+
+    const std::pair<u32, u32> topologies[] = {
+        {1, 2}, {1, 8}, {2, 2}, {3, 1}, {2, 4}, {4, 2}};
+    for (auto [d, s] : topologies) {
+        Context ctx(topologyParams(d, s));
+        RNSPoly got = runKernelChain(ctx, ops);
+        got.syncHost();
+        ASSERT_EQ(got.numLimbs(), want.numLimbs());
+        for (std::size_t i = 0; i < got.numLimbs(); ++i) {
+            ASSERT_EQ(0, std::memcmp(got.limb(i).data(),
+                                     want.limb(i).data(),
+                                     got.limb(i).size() * sizeof(u64)))
+                << "topology " << d << "x" << s << " limb " << i;
+        }
+    }
+}
+
+TEST(ExecutionAsync, ChainedKernelsPayNoHostJoins)
+{
+    Context ctx(topologyParams(2, 2));
+    std::vector<u32> ops(24);
+    for (u32 i = 0; i < ops.size(); ++i)
+        ops[i] = i;
+    ctx.devices().resetCounters();
+    RNSPoly r = runKernelChain(ctx, ops);
+    // The whole chain pipelined stream-side: not one host block.
+    EXPECT_EQ(ctx.devices().hostJoins(), 0u);
+    EXPECT_GE(ctx.devices().logicalKernels(), ops.size());
+    r.syncHost(); // the only join (skipped if work already drained)
+    EXPECT_LE(ctx.devices().hostJoins(), 1u);
+}
+
+TEST(ExecutionAsync, HMultPipelineJoinsAtLeastTenfoldFewer)
+{
+    // The acceptance workload: HMult + rescale on a multi-stream
+    // topology. The barrier model joined the host once per logical
+    // kernel; the event model must show >= 10x fewer joins.
+    Context ctx(topologyParams(2, 2));
+    KeyGen kg(ctx);
+    KeyBundle keys = kg.makeBundle({1});
+    Evaluator eval(ctx, keys);
+    Encoder enc(ctx);
+    Encryptor encr(ctx, keys.pk);
+    const u32 slots = static_cast<u32>(ctx.degree() / 2);
+    std::vector<std::complex<double>> z(slots, {0.5, -0.25});
+    auto a = encr.encrypt(enc.encode(z, slots, ctx.maxLevel()));
+    auto b = encr.encrypt(enc.encode(z, slots, ctx.maxLevel()));
+
+    ctx.devices().resetCounters();
+    auto m = eval.multiply(a, b);
+    eval.rescaleInPlace(m);
+    m.syncHost();
+    const u64 kernels = ctx.devices().logicalKernels();
+    const u64 joins = ctx.devices().hostJoins();
+    EXPECT_GE(kernels, 20u);
+    EXPECT_LE(joins * 10, kernels)
+        << "host joins " << joins << " vs logical kernels " << kernels;
+}
+
+TEST(ExecutionPool, PendingBuffersAreDeferredNotRecycled)
+{
+    Context ctx(topologyParams(1, 2));
+    DeviceSet &devs = ctx.devices();
+    // Park both streams so the next kernel's batches stay queued.
+    for (u32 s = 0; s < devs.numStreams(); ++s) {
+        devs.stream(s).submit([] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        });
+    }
+    const u64 before = devs.device(0).pool().deferredFrees();
+    {
+        RNSPoly p(ctx, ctx.maxLevel(), Format::Eval);
+        p.setZero();
+        kernels::negate(p);
+        // p dies here with its kernels still queued behind the naps:
+        // the partition keep-alive defers destruction to the last
+        // worker task, whose own completion event is unsignalled at
+        // that point -- so its buffers must go through the pool's
+        // deferred-free list, not straight back to the free lists
+        // where a new allocation could catch them.
+    }
+    devs.synchronize();
+    EXPECT_GT(devs.device(0).pool().deferredFrees(), before);
+    // Once the events signalled, a trim sweeps the deferred list and
+    // the memory is accounted free again.
+    devs.device(0).pool().trim();
+    EXPECT_EQ(devs.bytesInUse(), 0u);
 }
 
 TEST(ExecutionPoolDeathTest, LeakedBufferTripsTeardownAssertion)
