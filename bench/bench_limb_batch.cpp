@@ -18,8 +18,11 @@
  * traffic counters are reported alongside the aggregate model.
  *
  * Besides the console output, every run (over)writes a machine-
- * readable summary to BENCH_limb_batch.json (ns/op, host syncs/op,
- * logical kernels/op, per-device launches); CI uploads it as a
+ * readable summary (ns/op, host syncs/op, logical kernels/op,
+ * per-device launches) to --json_out, defaulting to
+ * BENCH_limb_batch.json in the CWD; CI passes the repo-root path,
+ * gates on launches/op against the committed baseline
+ * (tools/check_launch_regression.py) and uploads the file as a
  * per-commit artifact so the performance trajectory of the
  * asynchronous execution model accumulates across commits.
  */
@@ -39,6 +42,10 @@ using namespace fideslib::bench;
 
 u32 gDevices = 1;
 u32 gStreams = 1; //!< total streams across all devices
+//! JSON summary destination. Relative paths resolve against the CWD,
+//! so runs from build/ used to silently miss the repo-root trajectory
+//! file CI uploads; CI now passes an absolute --json_out.
+std::string gJsonOut = "BENCH_limb_batch.json";
 
 Parameters
 topologyParams()
@@ -86,8 +93,9 @@ BM_HMultLimbBatch(benchmark::State &state)
 }
 
 /**
- * Strips "--devices N"/"--streams N" (and the "=N" forms) from argv
- * before Google Benchmark sees, and rejects, unknown flags.
+ * Strips "--devices N"/"--streams N"/"--json_out PATH" (and the "=X"
+ * forms) from argv before Google Benchmark sees, and rejects, unknown
+ * flags.
  */
 void
 parseTopologyFlags(int &argc, char **argv)
@@ -113,6 +121,14 @@ parseTopologyFlags(int &argc, char **argv)
         const char *flag = argv[i];
         const char *value = nullptr;
         u32 *target = nullptr;
+        if (match(flag, "--json_out", value)) {
+            if (!value && i + 1 < argc)
+                value = argv[++i];
+            if (!value || value[0] == '\0')
+                fideslib::fatal("--json_out requires a path");
+            gJsonOut = value;
+            continue;
+        }
         if (match(flag, "--devices", value))
             target = &gDevices;
         else if (match(flag, "--streams", value))
@@ -218,7 +234,7 @@ main(int argc, char **argv)
         return 1;
     JsonDumpReporter reporter;
     ::benchmark::RunSpecifiedBenchmarks(&reporter);
-    writeJson(reporter, "BENCH_limb_batch.json");
+    writeJson(reporter, gJsonOut.c_str());
     ::benchmark::Shutdown();
     return 0;
 }

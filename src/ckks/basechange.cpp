@@ -266,59 +266,19 @@ modDown(RNSPoly &a)
     // same kernel). Building a new polynomial instead of dropping the
     // special limbs in place keeps the hot path free of host joins:
     // the old partition (and its still-pending special limbs) is
-    // retired through the keep-alive / deferred-free machinery.
+    // retired through the keep-alive / deferred-free machinery. The
+    // chain submits one fused launch per batch with fusion on, or the
+    // two-kernel pipeline of the no-fusion backend otherwise.
     RNSPoly out(ctx, level, Format::Eval);
-    LimbPartition &op = out.partition();
-    const bool fused = ctx.fusionEnabled();
-    if (fused) {
-        kernels::forBatches(ctx, level + 1, 3 * n * kWord, n * kWord,
-                            5 * n * ctx.logDegree() + 4 * n,
-                            [&ctx, &ap, &op, tmp, n](std::size_t lo,
-                                                     std::size_t hi) {
-            for (std::size_t i = lo; i < hi; ++i) {
-                u64 *t = (*tmp)[i].data();
-                kernels::nttLimb(ctx, t, static_cast<u32>(i));
-                const u64 p = ctx.qMod(i).value;
-                const u64 w = ctx.pInvModQ(i);
-                const u64 ws = ctx.pInvModQShoup(i);
-                const u64 *x = ap[i].data();
-                u64 *o = op[i].data();
-                for (std::size_t j = 0; j < n; ++j)
-                    o[j] = mulModShoup(subMod(x[j], t[j], p), w, ws,
-                                       p);
-            }
-        }, [](std::size_t i) { return static_cast<u32>(i); },
-           {kernels::wr(out), kernels::rd(a)}, convDone);
-    } else {
-        std::vector<Event> nttDone;
-        kernels::forBatches(ctx, level + 1, 2 * n * kWord,
-                            2 * n * kWord, 5 * n * ctx.logDegree(),
-                            [&ctx, tmp](std::size_t lo,
-                                        std::size_t hi) {
-            for (std::size_t i = lo; i < hi; ++i) {
-                kernels::nttLimb(ctx, (*tmp)[i].data(),
-                                 static_cast<u32>(i));
-            }
-        }, [](std::size_t i) { return static_cast<u32>(i); }, {},
-           convDone, &nttDone);
-        kernels::forBatches(ctx, level + 1, 2 * n * kWord, n * kWord,
-                            4 * n,
-                            [&ctx, &ap, &op, tmp, n](std::size_t lo,
-                                                     std::size_t hi) {
-            for (std::size_t i = lo; i < hi; ++i) {
-                const u64 p = ctx.qMod(i).value;
-                const u64 w = ctx.pInvModQ(i);
-                const u64 ws = ctx.pInvModQShoup(i);
-                const u64 *x = ap[i].data();
-                const u64 *t = (*tmp)[i].data();
-                u64 *o = op[i].data();
-                for (std::size_t j = 0; j < n; ++j)
-                    o[j] = mulModShoup(subMod(x[j], t[j], p), w, ws,
-                                       p);
-            }
-        }, [](std::size_t i) { return static_cast<u32>(i); },
-           {kernels::wr(out), kernels::rd(a)}, nttDone);
+    std::vector<u64> w(level + 1), ws(level + 1);
+    for (u32 i = 0; i <= level; ++i) {
+        w[i] = ctx.pInvModQ(i);
+        ws[i] = ctx.pInvModQShoup(i);
     }
+    kernels::FusedChain chain(ctx);
+    chain.nttExt(tmp);
+    chain.subScalarMulExt(out, a, tmp, std::move(w), std::move(ws));
+    chain.run(convDone);
 
     a = std::move(out);
 }
@@ -348,84 +308,24 @@ rescale(RNSPoly &a)
     }, [&ap, l](std::size_t) { return ap[l].primeIdx(); },
        {kernels::rdFixed(a, l)}, {}, &lastDone);
 
-    // Fused path (paper Rescale fusion): one kernel per limb batch
-    // performs SwitchModulus prologue + NTT + the combined
-    // q_l^{-1} (x - NTT(...)) epilogue, saving the intermediate
-    // global-memory round trips, writing a FRESH level-(l-1)
-    // polynomial (same join-free rationale as modDown). Unfused
-    // path: three separate kernels, the structure of a backend
-    // without fusion support.
+    // Rescale epilogue (paper Rescale fusion): SwitchModulus prologue
+    // + NTT + the combined q_l^{-1} (x - NTT(...)) epilogue, writing
+    // a FRESH level-(l-1) polynomial (same join-free rationale as
+    // modDown). One fused launch per batch with fusion on; the
+    // three-kernel pipeline of the no-fusion backend otherwise.
     RNSPoly out(ctx, l - 1, Format::Eval);
-    LimbPartition &op = out.partition();
-    const bool fused = ctx.fusionEnabled();
-    if (fused) {
-        kernels::forBatches(ctx, l, 3 * n * kWord, n * kWord,
-                            5 * n * ctx.logDegree() + 6 * n,
-                            [&ctx, &ap, &op, last, ql, l,
-                             n](std::size_t lo, std::size_t hi) {
-            // Per-batch scratch: batches run on concurrent streams.
-            std::vector<u64> tmp(n);
-            for (std::size_t i = lo; i < hi; ++i) {
-                kernels::switchModulusLimb(ctx, last->data(), ql,
-                                           tmp.data(),
-                                           static_cast<u32>(i));
-                kernels::nttLimb(ctx, tmp.data(),
-                                 static_cast<u32>(i));
-                const u64 p = ctx.qMod(i).value;
-                const u64 w = ctx.qlInvModQ(l, i);
-                const u64 ws = ctx.qlInvModQShoup(l, i);
-                const u64 *x = ap[i].data();
-                u64 *o = op[i].data();
-                for (std::size_t j = 0; j < n; ++j) {
-                    o[j] = mulModShoup(subMod(x[j], tmp[j], p), w, ws,
-                                       p);
-                }
-            }
-        }, [](std::size_t i) { return static_cast<u32>(i); },
-           {kernels::wr(out), kernels::rd(a)}, lastDone);
-    } else {
-        auto tmp = std::make_shared<std::vector<std::vector<u64>>>(
-            l, std::vector<u64>(n));
-        std::vector<Event> switched;
-        kernels::forBatches(ctx, l, n * kWord, n * kWord, 2 * n,
-                            [&ctx, tmp, last, ql](std::size_t lo,
-                                                  std::size_t hi) {
-            for (std::size_t i = lo; i < hi; ++i) {
-                kernels::switchModulusLimb(ctx, last->data(), ql,
-                                           (*tmp)[i].data(),
-                                           static_cast<u32>(i));
-            }
-        }, [](std::size_t i) { return static_cast<u32>(i); }, {},
-           lastDone, &switched);
-        std::vector<Event> ntted;
-        kernels::forBatches(ctx, l, 2 * n * kWord, 2 * n * kWord,
-                            5 * n * ctx.logDegree(),
-                            [&ctx, tmp](std::size_t lo,
-                                        std::size_t hi) {
-            for (std::size_t i = lo; i < hi; ++i) {
-                kernels::nttLimb(ctx, (*tmp)[i].data(),
-                                 static_cast<u32>(i));
-            }
-        }, [](std::size_t i) { return static_cast<u32>(i); }, {},
-           switched, &ntted);
-        kernels::forBatches(ctx, l, 2 * n * kWord, n * kWord, 6 * n,
-                            [&ctx, &ap, &op, tmp, l,
-                             n](std::size_t lo, std::size_t hi) {
-            for (std::size_t i = lo; i < hi; ++i) {
-                const u64 p = ctx.qMod(i).value;
-                const u64 w = ctx.qlInvModQ(l, i);
-                const u64 ws = ctx.qlInvModQShoup(l, i);
-                const u64 *x = ap[i].data();
-                const u64 *t = (*tmp)[i].data();
-                u64 *o = op[i].data();
-                for (std::size_t j = 0; j < n; ++j) {
-                    o[j] = mulModShoup(subMod(x[j], t[j], p), w, ws,
-                                       p);
-                }
-            }
-        }, [](std::size_t i) { return static_cast<u32>(i); },
-           {kernels::wr(out), kernels::rd(a)}, ntted);
+    auto tmp = std::make_shared<std::vector<std::vector<u64>>>(
+        l, std::vector<u64>(n));
+    std::vector<u64> w(l), ws(l);
+    for (u32 i = 0; i < l; ++i) {
+        w[i] = ctx.qlInvModQ(l, i);
+        ws[i] = ctx.qlInvModQShoup(l, i);
     }
+    kernels::FusedChain chain(ctx);
+    chain.switchModulusExt(tmp, last, ql);
+    chain.nttExt(tmp);
+    chain.subScalarMulExt(out, a, tmp, std::move(w), std::move(ws));
+    chain.run(lastDone);
 
     a = std::move(out);
 }

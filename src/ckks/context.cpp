@@ -58,6 +58,14 @@ Context::Context(const Parameters &params)
 
 Context::~Context()
 {
+    // Drain every stream before teardown proceeds: members destruct
+    // in reverse declaration order, so the tables kernel bodies read
+    // (primes, conv tables, automorphism cache) die BEFORE devices_
+    // -- an in-flight body would read freed memory. The join also
+    // sweeps the pools' deferred frees, so the bytesInUse teardown
+    // assertion runs against settled accounting.
+    if (devices_)
+        devices_->synchronize();
     if (gCurrent == this)
         gCurrent = nullptr;
 }

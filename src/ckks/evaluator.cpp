@@ -107,19 +107,23 @@ Evaluator::multiply(const Ciphertext &a, const Ciphertext &b) const
     const Context &ctx = *ctx_;
     const u32 level = a.level();
 
-    // Tensor: d0 = a0 b0, d1 = a0 b1 + a1 b0, d2 = a1 b1.
+    // Tensor: d0 = a0 b0, d1 = a0 b1 + a1 b0, d2 = a1 b1 -- one fused
+    // launch per limb batch: the four products share one read of the
+    // operand limbs (Section III-F5).
     RNSPoly d0(ctx, level, Format::Eval);
     RNSPoly d1(ctx, level, Format::Eval);
     RNSPoly d2(ctx, level, Format::Eval);
-    kernels::mul(d0, a.c0, b.c0);
-    kernels::mul(d1, a.c0, b.c1);
-    kernels::mulAddInto(d1, a.c1, b.c0);
-    kernels::mul(d2, a.c1, b.c1);
+    kernels::FusedChain(ctx)
+        .mul(d0, a.c0, b.c0)
+        .mul(d1, a.c0, b.c1)
+        .mulAdd(d1, a.c1, b.c0)
+        .mul(d2, a.c1, b.c1)
+        .run();
 
-    // Relinearize d2 (under s^2) back to the canonical key.
+    // Relinearize d2 (under s^2) back to the canonical key; the two
+    // accumulates fuse into one launch.
     auto [u0, u1] = keySwitch(d2, keys_->relin);
-    kernels::addInto(d0, u0);
-    kernels::addInto(d1, u1);
+    kernels::FusedChain(ctx).add(d0, u0).add(d1, u1).run();
 
     double noise = a.noiseBits + b.noiseBits + 1.0;
     return Ciphertext{std::move(d0), std::move(d1),
@@ -133,18 +137,20 @@ Evaluator::square(const Ciphertext &a) const
     const Context &ctx = *ctx_;
     const u32 level = a.level();
 
-    // HSquare saves one of the four tensor multiplications.
+    // HSquare saves one of the four tensor multiplications; the
+    // remaining products fuse into one launch per limb batch.
     RNSPoly d0(ctx, level, Format::Eval);
     RNSPoly d1(ctx, level, Format::Eval);
     RNSPoly d2(ctx, level, Format::Eval);
-    kernels::mul(d0, a.c0, a.c0);
-    kernels::mul(d1, a.c0, a.c1);
-    kernels::addInto(d1, d1); // d1 = 2 a0 a1
-    kernels::mul(d2, a.c1, a.c1);
+    kernels::FusedChain(ctx)
+        .mul(d0, a.c0, a.c0)
+        .mul(d1, a.c0, a.c1)
+        .add(d1, d1) // d1 = 2 a0 a1
+        .mul(d2, a.c1, a.c1)
+        .run();
 
     auto [u0, u1] = keySwitch(d2, keys_->relin);
-    kernels::addInto(d0, u0);
-    kernels::addInto(d1, u1);
+    kernels::FusedChain(ctx).add(d0, u0).add(d1, u1).run();
 
     return Ciphertext{std::move(d0), std::move(d1), a.scale * a.scale,
                       a.slots, 2 * a.noiseBits + 1.0};
@@ -231,9 +237,13 @@ Evaluator::applyRotation(const Ciphertext &a, const RaisedDigits &raised,
     auto [u0, u1] = keySwitchAccumulate(raised, galoisKey(galois),
                                         &perm);
 
+    // Gather + accumulate in one launch (the automorphism is a pure
+    // permutation, so it rides along with the add for free).
     RNSPoly c0(ctx, a.level(), Format::Eval);
-    kernels::automorph(c0, a.c0, perm);
-    kernels::addInto(c0, u0);
+    kernels::FusedChain(ctx)
+        .gather(c0, a.c0, perm)
+        .add(c0, u0)
+        .run();
     return Ciphertext{std::move(c0), std::move(u1), a.scale, a.slots,
                       a.noiseBits + 0.5};
 }

@@ -58,7 +58,7 @@ depRange(const Dep &d, std::size_t lo, std::size_t hi)
  * across operands are skipped.
  */
 void
-waitHazards(Stream &st, std::initializer_list<Dep> deps,
+waitHazards(Stream &st, const std::vector<Dep> &deps,
             const std::vector<Event> &extraWaits, std::size_t lo,
             std::size_t hi)
 {
@@ -93,7 +93,7 @@ waitHazards(Stream &st, std::initializer_list<Dep> deps,
  * (in-place kernels) ends up tracked as written-then-read.
  */
 void
-noteBatch(std::initializer_list<Dep> deps, std::size_t lo,
+noteBatch(const std::vector<Dep> &deps, std::size_t lo,
           std::size_t hi, const Event &ev)
 {
     for (const Dep &d : deps) {
@@ -122,7 +122,7 @@ forBatches(const Context &ctx, std::size_t numLimbs,
            u64 intOpsPerLimb,
            const std::function<void(std::size_t, std::size_t)> &fn,
            const std::function<u32(std::size_t)> &primeAt,
-           std::initializer_list<Dep> deps,
+           const std::vector<Dep> &deps,
            const std::vector<Event> &extraWaits,
            std::vector<Event> *recorded)
 {
@@ -557,6 +557,516 @@ switchModulusLimb(const Context &ctx, const u64 *src, u64 srcPrime,
             }
         }
     }
+}
+
+// --- FusedChain -------------------------------------------------------
+
+/**
+ * One recorded element-wise operation. Polynomial operands are stored
+ * twice: the RNSPoly pointer feeds the Dep list built at run() (and
+ * must stay alive until then), the LimbPartition pointer is what the
+ * kernel body dereferences -- heap-stable and kept alive past run()
+ * by the Dep keep-alives.
+ */
+struct FusedChain::Op
+{
+    enum class Kind : unsigned char
+    {
+        Mul,
+        MulAdd,
+        Add,
+        Sub,
+        ScalarMul,
+        Gather,
+        GatherMulAcc,
+        SwitchModulusExt,
+        NttExt,
+        SubScalarMulExt,
+    };
+
+    explicit Op(Kind k) : kind(k) {}
+
+    Kind kind;
+    bool accumulate = false;           //!< GatherMulAcc
+    RNSPoly *outPoly = nullptr;        //!< written polynomial
+    const RNSPoly *aPoly = nullptr;    //!< first input
+    const RNSPoly *bPoly = nullptr;    //!< second input / key
+    LimbPartition *out = nullptr;
+    const LimbPartition *a = nullptr;
+    const LimbPartition *b = nullptr;
+    const u32 *perm = nullptr;         //!< automorphism gather
+    std::vector<u64> s0, s1;           //!< per-limb scalar constants
+    ExtScratch ext;                    //!< per-limb host scratch
+    ExtFixed fixed;                    //!< shared fixed source
+    u64 srcPrime = 0;                  //!< SwitchModulusExt
+
+    bool readsOut() const
+    {
+        switch (kind) {
+        case Kind::MulAdd:
+        case Kind::Add:
+        case Kind::Sub:
+        case Kind::ScalarMul:
+            return true;
+        case Kind::GatherMulAcc:
+            return accumulate;
+        default:
+            return false;
+        }
+    }
+
+    /** Per-limb integer-op model, matching the standalone kernels. */
+    u64
+    intOpsPerLimb(std::size_t n, u32 logN) const
+    {
+        switch (kind) {
+        case Kind::Mul: return 5 * n;
+        case Kind::MulAdd: return 6 * n;
+        case Kind::Add:
+        case Kind::Sub: return n;
+        case Kind::ScalarMul: return 3 * n;
+        case Kind::Gather: return 0;
+        case Kind::GatherMulAcc: return accumulate ? 6 * n : 5 * n;
+        case Kind::SwitchModulusExt: return 2 * n;
+        case Kind::NttExt: return 5 * n * logN;
+        case Kind::SubScalarMulExt: return 4 * n;
+        }
+        return 0;
+    }
+};
+
+FusedChain::FusedChain(const Context &ctx) : ctx_(&ctx) {}
+
+FusedChain::~FusedChain()
+{
+    // A chain destroyed with recorded ops was never run(): the caller
+    // dropped a kernel sequence on the floor (early return, missing
+    // trailing .run()). Catch the misuse here, where the bug is.
+    FIDES_ASSERT(ops_.empty());
+}
+
+namespace
+{
+
+/** Executes one recorded op on limb @p i. @p shape supplies the
+ *  chain's position -> prime mapping for the external-scratch ops. */
+inline void
+runOpOnLimb(const Context &ctx, const FusedChain::Op &op,
+            const LimbPartition &shape, std::size_t i, std::size_t n)
+{
+    using Kind = FusedChain::Op::Kind;
+    switch (op.kind) {
+    case Kind::Mul: {
+        const Modulus &m = ctx.prime((*op.out)[i].primeIdx()).mod;
+        mulSpan(ctx, (*op.out)[i].data(), (*op.a)[i].data(),
+                (*op.b)[i].data(), n, m);
+        break;
+    }
+    case Kind::MulAdd: {
+        const Modulus &m = ctx.prime((*op.out)[i].primeIdx()).mod;
+        mulAddSpan(ctx, (*op.out)[i].data(), (*op.a)[i].data(),
+                   (*op.b)[i].data(), n, m);
+        break;
+    }
+    case Kind::Add: {
+        const u64 p = ctx.prime((*op.out)[i].primeIdx()).value();
+        u64 *x = (*op.out)[i].data();
+        const u64 *y = (*op.b)[i].data();
+        for (std::size_t j = 0; j < n; ++j)
+            x[j] = addMod(x[j], y[j], p);
+        break;
+    }
+    case Kind::Sub: {
+        const u64 p = ctx.prime((*op.out)[i].primeIdx()).value();
+        u64 *x = (*op.out)[i].data();
+        const u64 *y = (*op.b)[i].data();
+        for (std::size_t j = 0; j < n; ++j)
+            x[j] = subMod(x[j], y[j], p);
+        break;
+    }
+    case Kind::ScalarMul: {
+        const u64 p = ctx.prime((*op.out)[i].primeIdx()).value();
+        const u64 w = op.s0[i];
+        const u64 ws = shoupPrecompute(w, p);
+        u64 *x = (*op.out)[i].data();
+        for (std::size_t j = 0; j < n; ++j)
+            x[j] = mulModShoup(x[j], w, ws, p);
+        break;
+    }
+    case Kind::Gather: {
+        const u64 *src = (*op.a)[i].data();
+        u64 *dst = (*op.out)[i].data();
+        for (std::size_t j = 0; j < n; ++j)
+            dst[j] = src[op.perm[j]];
+        break;
+    }
+    case Kind::GatherMulAcc: {
+        // Limb of global prime gi in the full-basis key: q-limb gi
+        // sits at position gi, special limb k at L+1+k -- both equal
+        // the global index, so the key is indexed by gi directly.
+        const u32 gi = (*op.out)[i].primeIdx();
+        const Modulus &m = ctx.prime(gi).mod;
+        const u64 *kp = (*op.b)[gi].data();
+        const u64 *s = (*op.a)[i].data();
+        u64 *x = (*op.out)[i].data();
+        const bool barrett = ctx.modMulKind() == ModMulKind::Barrett;
+        const u32 *pm = op.perm;
+        for (std::size_t j = 0; j < n; ++j) {
+            const u64 sj = pm ? s[pm[j]] : s[j];
+            const u64 prod = barrett ? mulModBarrett(sj, kp[j], m)
+                                     : mulModNaive(sj, kp[j], m.value);
+            x[j] = op.accumulate ? addMod(x[j], prod, m.value) : prod;
+        }
+        break;
+    }
+    case Kind::SwitchModulusExt:
+        switchModulusLimb(ctx, op.fixed->data(), op.srcPrime,
+                          (*op.ext)[i].data(), shape[i].primeIdx());
+        break;
+    case Kind::NttExt:
+        nttLimb(ctx, (*op.ext)[i].data(), shape[i].primeIdx());
+        break;
+    case Kind::SubScalarMulExt: {
+        const u64 p = ctx.prime((*op.out)[i].primeIdx()).value();
+        const u64 w = op.s0[i];
+        const u64 ws = op.s1[i];
+        const u64 *x = (*op.a)[i].data();
+        const u64 *t = (*op.ext)[i].data();
+        u64 *o = (*op.out)[i].data();
+        for (std::size_t j = 0; j < n; ++j)
+            o[j] = mulModShoup(subMod(x[j], t[j], p), w, ws, p);
+        break;
+    }
+    }
+}
+
+/** Unfused per-op traffic (words per limb), matching the standalone
+ *  kernels of the no-fusion backend. */
+inline std::pair<u64, u64>
+unfusedTraffic(const FusedChain::Op &op)
+{
+    using Kind = FusedChain::Op::Kind;
+    switch (op.kind) {
+    case Kind::Mul: return {2, 1};
+    case Kind::MulAdd: return {3, 1};
+    case Kind::Add:
+    case Kind::Sub: return {2, 1};
+    case Kind::ScalarMul: return {1, 1};
+    case Kind::Gather: return {1, 1};
+    case Kind::GatherMulAcc:
+        return {op.accumulate ? 3u : 2u, 1};
+    case Kind::SwitchModulusExt: return {1, 1};
+    case Kind::NttExt: return {2, 2};
+    case Kind::SubScalarMulExt: return {2, 1};
+    }
+    return {0, 0};
+}
+
+} // namespace
+
+FusedChain &
+FusedChain::mul(RNSPoly &out, const RNSPoly &a, const RNSPoly &b)
+{
+    FIDES_ASSERT(a.format() == Format::Eval &&
+                 b.format() == Format::Eval);
+    FIDES_ASSERT(out.numLimbs() <= a.numLimbs() &&
+                 out.numLimbs() <= b.numLimbs());
+    out.setFormat(Format::Eval);
+    Op op{Op::Kind::Mul};
+    op.outPoly = &out;
+    op.aPoly = &a;
+    op.bPoly = &b;
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+FusedChain &
+FusedChain::mulAdd(RNSPoly &acc, const RNSPoly &a, const RNSPoly &b)
+{
+    FIDES_ASSERT(a.format() == Format::Eval &&
+                 b.format() == Format::Eval);
+    FIDES_ASSERT(acc.numLimbs() <= a.numLimbs() &&
+                 acc.numLimbs() <= b.numLimbs());
+    Op op{Op::Kind::MulAdd};
+    op.outPoly = &acc;
+    op.aPoly = &a;
+    op.bPoly = &b;
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+FusedChain &
+FusedChain::add(RNSPoly &a, const RNSPoly &b)
+{
+    FIDES_ASSERT(a.numLimbs() <= b.numLimbs());
+    Op op{Op::Kind::Add};
+    op.outPoly = &a;
+    op.bPoly = &b;
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+FusedChain &
+FusedChain::sub(RNSPoly &a, const RNSPoly &b)
+{
+    FIDES_ASSERT(a.numLimbs() <= b.numLimbs());
+    Op op{Op::Kind::Sub};
+    op.outPoly = &a;
+    op.bPoly = &b;
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+FusedChain &
+FusedChain::scalarMul(RNSPoly &a, std::vector<u64> scalar)
+{
+    FIDES_ASSERT(scalar.size() >= a.numLimbs());
+    Op op{Op::Kind::ScalarMul};
+    op.outPoly = &a;
+    op.s0 = std::move(scalar);
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+FusedChain &
+FusedChain::gather(RNSPoly &out, const RNSPoly &in,
+                   const std::vector<u32> &perm)
+{
+    FIDES_ASSERT(in.format() == Format::Eval);
+    FIDES_ASSERT(out.numLimbs() == in.numLimbs());
+    out.setFormat(Format::Eval);
+    Op op{Op::Kind::Gather};
+    op.outPoly = &out;
+    op.aPoly = &in;
+    op.perm = perm.data(); // Context's automorphism cache, node-stable
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+FusedChain &
+FusedChain::gatherMulAcc(RNSPoly &acc, const RNSPoly &src,
+                         const RNSPoly &key,
+                         const std::vector<u32> *perm, bool accumulate)
+{
+    FIDES_ASSERT(src.format() == Format::Eval);
+    FIDES_ASSERT(acc.numLimbs() <= src.numLimbs());
+    Op op{Op::Kind::GatherMulAcc};
+    op.accumulate = accumulate;
+    op.outPoly = &acc;
+    op.aPoly = &src;
+    op.bPoly = &key;
+    op.perm = perm ? perm->data() : nullptr;
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+FusedChain &
+FusedChain::switchModulusExt(ExtScratch dst, ExtFixed src,
+                             u64 srcPrime)
+{
+    Op op{Op::Kind::SwitchModulusExt};
+    op.ext = std::move(dst);
+    op.fixed = std::move(src);
+    op.srcPrime = srcPrime;
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+FusedChain &
+FusedChain::nttExt(ExtScratch buf)
+{
+    Op op{Op::Kind::NttExt};
+    op.ext = std::move(buf);
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+FusedChain &
+FusedChain::subScalarMulExt(RNSPoly &out, const RNSPoly &x,
+                            ExtScratch t, std::vector<u64> w,
+                            std::vector<u64> wShoup)
+{
+    FIDES_ASSERT(out.numLimbs() <= x.numLimbs());
+    Op op{Op::Kind::SubScalarMulExt};
+    op.outPoly = &out;
+    op.aPoly = &x;
+    op.ext = std::move(t);
+    op.s0 = std::move(w);
+    op.s1 = std::move(wShoup);
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+void
+FusedChain::run(const std::vector<Event> &extraWaits)
+{
+    if (ops_.empty())
+        return;
+    const Context &ctx = *ctx_;
+    const std::size_t n = ctx.degree();
+    const u32 logN = ctx.logDegree();
+
+    // Resolve partitions now: the body must never touch an RNSPoly
+    // (stack object), only its heap-stable partition.
+    for (Op &op : ops_) {
+        if (op.outPoly)
+            op.out = &op.outPoly->partition();
+        if (op.aPoly)
+            op.a = &op.aPoly->partition();
+        if (op.bPoly)
+            op.b = &op.bPoly->partition();
+    }
+
+    // The chain's shape -- limb count and position -> prime mapping --
+    // comes from the first written polynomial.
+    const RNSPoly *shapePoly = nullptr;
+    for (const Op &op : ops_) {
+        if (op.outPoly) {
+            shapePoly = op.outPoly;
+            break;
+        }
+    }
+    FIDES_ASSERT(shapePoly != nullptr);
+    const LimbPartition *shape = &shapePoly->partition();
+    const std::size_t numLimbs = shape->size();
+    // Every written polynomial must span the chain's shape exactly:
+    // a smaller output would silently truncate the ops after it, a
+    // larger one would be left partially unwritten.
+    for (const Op &op : ops_)
+        FIDES_ASSERT(!op.out || op.out->size() == numLimbs);
+    auto primeAt = [shape](std::size_t i) {
+        return (*shape)[i].primeIdx();
+    };
+    // Ext-only ops carry no Dep on the shape polynomial, so their
+    // queued bodies hold this keep-alive to pin the prime mapping.
+    auto keepShape = shapePoly->partShared();
+
+    if (!ctx.fusionEnabled()) {
+        // Unfused backend: one logical kernel per recorded op, with
+        // the per-op traffic of the standalone kernels. Polynomial
+        // hazards chain through the Dep events as usual; external
+        // scratch has no Dep tracking, so ops touching it are chained
+        // serially through their recorded events (the structure of
+        // the pre-fusion Rescale/ModDown pipelines).
+        std::vector<Event> pending = extraWaits;
+        for (std::size_t k = 0; k < ops_.size(); ++k) {
+            // ops_ outlives the queued bodies: run() is called once
+            // and the chain may not be reused, so moving the op list
+            // into a shared_ptr keeps it alive for the last batch.
+            auto ops = std::make_shared<const std::vector<Op>>(
+                std::vector<Op>(1, ops_[k]));
+            const Op &op = ops_[k];
+            auto [r, w] = unfusedTraffic(op);
+            std::vector<Dep> deps;
+            if (op.outPoly)
+                deps.push_back(wr(*op.outPoly));
+            if (op.aPoly)
+                deps.push_back(rd(*op.aPoly));
+            if (op.bPoly) {
+                if (op.kind == Op::Kind::GatherMulAcc)
+                    deps.push_back(rdWhole(*op.bPoly));
+                else
+                    deps.push_back(rd(*op.bPoly));
+            }
+            const bool touchesExt = op.ext || op.fixed;
+            std::vector<Event> recorded;
+            forBatches(ctx, numLimbs, r * n * kWord, w * n * kWord,
+                       op.intOpsPerLimb(n, logN),
+                       [&ctx, ops, shape, keepShape, n](std::size_t lo,
+                                                        std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i)
+                    runOpOnLimb(ctx, (*ops)[0], *shape, i, n);
+            }, primeAt, deps, touchesExt ? pending : extraWaits,
+               touchesExt ? &recorded : nullptr);
+            if (touchesExt && !recorded.empty())
+                pending = std::move(recorded);
+        }
+        ops_.clear();
+        return;
+    }
+
+    // Fused submission: ONE logical kernel for the whole chain.
+    //
+    // Counters: integer ops are summed over the chain; memory traffic
+    // is single-pass -- each distinct operand is counted once (reads
+    // only when first touched as a read: an operand produced earlier
+    // in the chain, or chain-internal scratch, stays on-chip).
+    u64 intOps = 0;
+    u64 readsPerLimb = 0, writesPerLimb = 0;
+    std::vector<const void *> written, readCounted;
+    auto seen = [](const std::vector<const void *> &v, const void *p) {
+        for (const void *q : v)
+            if (q == p)
+                return true;
+        return false;
+    };
+    auto countRead = [&](const void *slot) {
+        if (slot && !seen(written, slot) && !seen(readCounted, slot)) {
+            readCounted.push_back(slot);
+            ++readsPerLimb;
+        }
+    };
+    auto countWrite = [&](const void *slot, bool isScratch) {
+        if (slot && !seen(written, slot)) {
+            written.push_back(slot);
+            if (!isScratch)
+                ++writesPerLimb;
+        }
+    };
+    for (const Op &op : ops_) {
+        intOps += op.intOpsPerLimb(n, logN);
+        countRead(op.a);
+        countRead(op.b);
+        countRead(op.fixed.get());
+        if (op.kind == Op::Kind::NttExt ||
+            op.kind == Op::Kind::SubScalarMulExt)
+            countRead(op.ext.get());
+        if (op.readsOut())
+            countRead(op.out);
+        if (op.out)
+            countWrite(op.out, false);
+        if (op.ext && op.kind != Op::Kind::SubScalarMulExt)
+            countWrite(op.ext.get(), true);
+    }
+
+    // One Dep per distinct polynomial: Write wherever the chain
+    // writes it (Write hazards cover read-modify-write), Read
+    // otherwise; key material is a whole-poly read.
+    std::vector<Dep> deps;
+    auto depFor = [&deps](const RNSPoly *p) -> Dep * {
+        for (Dep &d : deps)
+            if (d.poly == p)
+                return &d;
+        return nullptr;
+    };
+    for (const Op &op : ops_) {
+        if (op.outPoly) {
+            if (Dep *d = depFor(op.outPoly))
+                d->mode = Access::Write;
+            else
+                deps.push_back(wr(*op.outPoly));
+        }
+        if (op.aPoly && !depFor(op.aPoly))
+            deps.push_back(rd(*op.aPoly));
+        if (op.bPoly && !depFor(op.bPoly)) {
+            if (op.kind == Op::Kind::GatherMulAcc)
+                deps.push_back(rdWhole(*op.bPoly));
+            else
+                deps.push_back(rd(*op.bPoly));
+        }
+    }
+
+    auto ops =
+        std::make_shared<const std::vector<Op>>(std::move(ops_));
+    forBatches(ctx, numLimbs, readsPerLimb * n * kWord,
+               writesPerLimb * n * kWord, intOps,
+               [&ctx, ops, shape, keepShape, n](std::size_t lo,
+                                                std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            for (const Op &op : *ops)
+                runOpOnLimb(ctx, op, *shape, i, n);
+    }, primeAt, deps, extraWaits);
+    ops_.clear();
 }
 
 } // namespace fideslib::ckks::kernels

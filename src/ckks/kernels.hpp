@@ -19,7 +19,7 @@
 #pragma once
 
 #include <functional>
-#include <initializer_list>
+#include <memory>
 #include <vector>
 
 #include "ckks/rnspoly.hpp"
@@ -115,9 +115,108 @@ void forBatches(const Context &ctx, std::size_t numLimbs,
                 u64 intOpsPerLimb,
                 const std::function<void(std::size_t, std::size_t)> &fn,
                 const std::function<u32(std::size_t)> &primeAt = {},
-                std::initializer_list<Dep> deps = {},
+                const std::vector<Dep> &deps = {},
                 const std::vector<Event> &extraWaits = {},
                 std::vector<Event> *recorded = nullptr);
+
+/**
+ * Kernel-fusion builder (paper Sections III-F1/III-F5): records a
+ * chain of element-wise limb operations over a shared operand set and
+ * submits them as ONE logical kernel -- one launch per limb batch, one
+ * hazard-wait/record per batch, one counter update with the chain's
+ * summed integer ops but single-pass memory traffic (each distinct
+ * operand is counted once; chain-internal intermediates stay
+ * on-chip). With `Context::fusionEnabled()` off, run() executes the
+ * recorded operations as individual logical kernels with the per-op
+ * traffic of the unfused backend -- the arithmetic per coefficient is
+ * identical either way, so fused and unfused runs are bit-identical.
+ *
+ * All polynomial operands are positional (limb i of each poly pairs
+ * with limb i of the others) except key-switching key material, which
+ * is indexed by global prime and declared as a whole-poly dependency.
+ * The chain's limb count and prime layout come from the first written
+ * polynomial. Operand polynomials must stay alive until run()
+ * returns; after that the usual keep-alive machinery covers them.
+ * Permutations passed to gather()/gatherMulAcc() are captured by
+ * pointer and are NOT kept alive: like kernels::automorph, they must
+ * outlive the submitted kernels themselves -- pass the Context's
+ * automorphism cache (node-stable), never a local vector.
+ *
+ * External host scratch (the Rescale/ModDown intermediates produced
+ * by base conversion) participates through shared_ptr-held buffers:
+ * per-limb (`ExtScratch`, one buffer per chain position) or fixed
+ * (`ExtFixed`, one buffer read by every limb). Producer events of
+ * external inputs are passed to run() and waited stream-side.
+ */
+class FusedChain
+{
+  public:
+    using ExtScratch = std::shared_ptr<std::vector<std::vector<u64>>>;
+    using ExtFixed = std::shared_ptr<std::vector<u64>>;
+
+    explicit FusedChain(const Context &ctx);
+    ~FusedChain();
+
+    FusedChain(const FusedChain &) = delete;
+    FusedChain &operator=(const FusedChain &) = delete;
+
+    /** out = a * b (pointwise, Eval format). */
+    FusedChain &mul(RNSPoly &out, const RNSPoly &a, const RNSPoly &b);
+    /** acc += a * b. */
+    FusedChain &mulAdd(RNSPoly &acc, const RNSPoly &a,
+                       const RNSPoly &b);
+    /** a += b. */
+    FusedChain &add(RNSPoly &a, const RNSPoly &b);
+    /** a -= b. */
+    FusedChain &sub(RNSPoly &a, const RNSPoly &b);
+    /** a[limb i] *= scalar[i]. */
+    FusedChain &scalarMul(RNSPoly &a, std::vector<u64> scalar);
+    /** out[j] = in[perm[j]] per limb (automorphism gather). @p perm
+     *  must outlive the kernel (the Context's cache does). */
+    FusedChain &gather(RNSPoly &out, const RNSPoly &in,
+                       const std::vector<u32> &perm);
+
+    /**
+     * Key-switch inner-product step: acc (+)= gather(src, perm) * key,
+     * where limb i of acc reads the full-basis key limb of the same
+     * global prime. @p perm may be null (no automorphism);
+     * @p accumulate false overwrites acc (the first digit), true
+     * accumulates. The gather is applied on the fly -- no permuted
+     * digit is ever materialized. @p perm must outlive the kernel
+     * (the Context's cache does).
+     */
+    FusedChain &gatherMulAcc(RNSPoly &acc, const RNSPoly &src,
+                             const RNSPoly &key,
+                             const std::vector<u32> *perm,
+                             bool accumulate);
+
+    /** ext[i] = SwitchModulus(fixedSrc mod srcPrime -> chain prime i). */
+    FusedChain &switchModulusExt(ExtScratch dst, ExtFixed src,
+                                 u64 srcPrime);
+    /** In-place forward NTT of ext[i] under the chain's prime i. */
+    FusedChain &nttExt(ExtScratch buf);
+    /** out = (x - ext[i]) * w[i], Shoup-precomputed constants (the
+     *  fused Rescale/ModDown epilogue). */
+    FusedChain &subScalarMulExt(RNSPoly &out, const RNSPoly &x,
+                                ExtScratch t, std::vector<u64> w,
+                                std::vector<u64> wShoup);
+
+    /**
+     * Submits the chain: one logical kernel when fusion is enabled,
+     * one per recorded op otherwise. @p extraWaits are producer events
+     * of external scratch inputs (base-conversion launches). The chain
+     * is consumed; reuse requires a fresh builder.
+     */
+    void run(const std::vector<Event> &extraWaits = {});
+
+    /** One recorded operation (public so the kernel-body helpers in
+     *  kernels.cpp can execute it; not part of the API). */
+    struct Op;
+
+  private:
+    const Context *ctx_;
+    std::vector<Op> ops_;
+};
 
 // --- element-wise ring operations (any format, matching limbs) -------
 

@@ -7,70 +7,6 @@
 namespace fideslib::ckks
 {
 
-namespace
-{
-
-constexpr u64 kWord = sizeof(u64);
-
-/**
- * acc += gather(src, perm) * key, where limb i of acc (level l plus
- * specials) matches limb keyPos(i) of the full-basis key polynomial.
- */
-void
-mulAddMapped(RNSPoly &acc, const RNSPoly &src, const RNSPoly &keyPoly,
-             const std::vector<u32> *perm)
-{
-    const Context &ctx = acc.context();
-    const std::size_t n = ctx.degree();
-    const u32 L = ctx.maxLevel();
-    LimbPartition &accP = acc.partition();
-    const LimbPartition &srcP = src.partition();
-    const LimbPartition &keyP = keyPoly.partition();
-    // perm (when set) lives in the Context's automorphism cache.
-    const u32 *pm = perm ? perm->data() : nullptr;
-
-    // The key's limb mapping is not positional (special limbs sit at
-    // L+1+k in the full basis), so it is declared as a whole-poly
-    // read dependency.
-    kernels::forBatches(ctx, acc.numLimbs(), 3 * n * kWord, n * kWord,
-                        6 * n,
-                        [&ctx, &accP, &srcP, &keyP, pm, n,
-                         L](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i) {
-            const u32 gi = accP[i].primeIdx();
-            const Modulus &m = ctx.prime(gi).mod;
-            // Limb of global prime gi in the full-basis key: q-limb
-            // gi sits at position gi, special limb k at L+1+k.
-            const std::size_t keyPos =
-                gi <= L ? gi : L + 1 + (gi - (L + 1));
-            const u64 *kp = keyP[keyPos].data();
-            const u64 *s = srcP[i].data();
-            u64 *x = accP[i].data();
-            const bool barrett =
-                ctx.modMulKind() == ModMulKind::Barrett;
-            if (pm) {
-                for (std::size_t j = 0; j < n; ++j) {
-                    u64 prod = barrett
-                                   ? mulModBarrett(s[pm[j]], kp[j], m)
-                                   : mulModNaive(s[pm[j]], kp[j],
-                                                 m.value);
-                    x[j] = addMod(x[j], prod, m.value);
-                }
-            } else {
-                for (std::size_t j = 0; j < n; ++j) {
-                    u64 prod = barrett
-                                   ? mulModBarrett(s[j], kp[j], m)
-                                   : mulModNaive(s[j], kp[j], m.value);
-                    x[j] = addMod(x[j], prod, m.value);
-                }
-            }
-        }
-    }, [&accP](std::size_t i) { return accP[i].primeIdx(); },
-       {kernels::wr(acc), kernels::rd(src), kernels::rdWhole(keyPoly)});
-}
-
-} // namespace
-
 RaisedDigits
 decomposeAndModUp(const RNSPoly &dEval)
 {
@@ -102,13 +38,22 @@ keySwitchAccumulate(const RaisedDigits &raised, const EvalKey &key,
 
     RNSPoly acc0(ctx, level, Format::Eval, ctx.numSpecial());
     RNSPoly acc1(ctx, level, Format::Eval, ctx.numSpecial());
-    acc0.setZero();
-    acc1.setZero();
 
+    // The whole inner product -- every digit, both components, with
+    // the automorphism gather applied on the fly -- is one fused
+    // kernel: each digit limb is read once and multiplied into both
+    // accumulators while it is hot (Sections III-F3/F5). The first
+    // digit overwrites, so the accumulators need no zero pass. The
+    // key's limb mapping is not positional (special limbs sit at
+    // L+1+k in the full basis), so keys are whole-poly dependencies.
+    kernels::FusedChain chain(ctx);
     for (std::size_t j = 0; j < raised.digits.size(); ++j) {
-        mulAddMapped(acc0, raised.digits[j], key.b[j], perm);
-        mulAddMapped(acc1, raised.digits[j], key.a[j], perm);
+        chain.gatherMulAcc(acc0, raised.digits[j], key.b[j], perm,
+                           /*accumulate=*/j > 0);
+        chain.gatherMulAcc(acc1, raised.digits[j], key.a[j], perm,
+                           /*accumulate=*/j > 0);
     }
+    chain.run();
 
     modDown(acc0);
     modDown(acc1);

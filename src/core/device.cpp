@@ -89,9 +89,11 @@ MemPool::releaseLocked(void *ptr, std::size_t bytes)
     bytesInUse_ -= bytes;
     bytesCached_ += bytes;
     freeLists_[bytes].push_back(ptr);
-    // Keep the cache bounded (4 GiB) so long sweeps do not hoard RAM.
-    if (bytesCached_ > (4ULL << 30))
-        trimLocked();
+    // Keep the cache bounded so long sweeps do not hoard RAM: shed
+    // only the excess (a full flush here would force the next
+    // allocation storm to re-malloc everything it just released).
+    if (bytesCached_ > cacheBound_)
+        evictLocked(cacheBound_);
 }
 
 void
@@ -133,13 +135,32 @@ MemPool::trim()
 }
 
 void
+MemPool::sweepDeferred()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    if (!deferred_.empty())
+        sweepDeferredLocked();
+}
+
+void
 MemPool::trimLocked()
 {
-    for (auto &[sz, list] : freeLists_) {
-        for (void *p : list)
-            std::free(p);
-        bytesCached_ -= sz * list.size();
-        list.clear();
+    evictLocked(0);
+}
+
+void
+MemPool::evictLocked(u64 targetBytes)
+{
+    // Largest size classes first: big blocks shed the most bytes per
+    // eviction and are the least likely to be recycled verbatim.
+    for (auto it = freeLists_.rbegin();
+         it != freeLists_.rend() && bytesCached_ > targetBytes; ++it) {
+        auto &[sz, list] = *it;
+        while (!list.empty() && bytesCached_ > targetBytes) {
+            std::free(list.back());
+            list.pop_back();
+            bytesCached_ -= sz;
+        }
     }
 }
 
@@ -176,6 +197,29 @@ MemPool::deferredFrees() const
 {
     std::lock_guard<std::mutex> lock(m_);
     return deferredFrees_;
+}
+
+u64
+MemPool::bytesCached() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return bytesCached_;
+}
+
+void
+MemPool::setCacheBound(u64 bytes)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    cacheBound_ = bytes;
+    if (bytesCached_ > cacheBound_)
+        evictLocked(cacheBound_);
+}
+
+u64
+MemPool::cacheBound() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return cacheBound_;
 }
 
 // --- Device ----------------------------------------------------------------
@@ -274,8 +318,15 @@ Stream::wait(const Event &e)
 void
 Stream::synchronize()
 {
-    std::unique_lock<std::mutex> lock(m_);
-    drained_.wait(lock, [this] { return inFlight_ == 0; });
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        drained_.wait(lock, [this] { return inFlight_ == 0; });
+    }
+    // The stream just went idle: events recorded on it have signalled,
+    // so deferred frees keyed on them are reclaimable now. Without
+    // this, a device idle after a burst would hold the buffers (and
+    // overstate bytesInUse) until the next allocate()/trim().
+    dev_->pool().sweepDeferred();
 }
 
 void
@@ -330,6 +381,11 @@ DeviceSet::synchronize()
     noteHostJoin();
     for (auto &s : streams_)
         s->synchronize();
+    // Every stream has drained, so every deferred free is reclaimable
+    // -- including ones keyed on events of another device's streams,
+    // which the per-stream sweeps above may have run too early for.
+    for (auto &d : devices_)
+        d->pool().sweepDeferred();
 }
 
 KernelCounters

@@ -208,9 +208,28 @@ class MemPool
     u64 allocCalls() const;
     u64 poolHits() const;
     u64 deferredFrees() const;
+    /** Bytes sitting on the free lists, available for recycling. */
+    u64 bytesCached() const;
+
+    /**
+     * Upper bound on the cached (freed but not returned) bytes.
+     * Crossing it on a release evicts blocks -- largest size classes
+     * first -- until the cache is back under the bound, so a spill
+     * sheds only the excess instead of flushing the whole cache.
+     */
+    void setCacheBound(u64 bytes);
+    u64 cacheBound() const;
 
     /** Returns cached blocks to the host allocator. */
     void trim();
+
+    /**
+     * Reclaims deferred frees whose events have all signalled. Called
+     * by Stream::synchronize() / DeviceSet::synchronize() so a device
+     * that goes idle after a burst returns its buffers (and stops
+     * overstating bytesInUse) without waiting for the next allocate().
+     */
+    void sweepDeferred();
 
   private:
     struct DeferredFree
@@ -221,6 +240,7 @@ class MemPool
     };
 
     void trimLocked();
+    void evictLocked(u64 targetBytes);
     void sweepDeferredLocked();
     void releaseLocked(void *ptr, std::size_t bytes);
 
@@ -230,6 +250,7 @@ class MemPool
     u64 bytesInUse_ = 0;
     u64 bytesPeak_ = 0;
     u64 bytesCached_ = 0;
+    u64 cacheBound_ = 4ULL << 30;
     u64 allocCalls_ = 0;
     u64 poolHits_ = 0;
     u64 deferredFrees_ = 0;

@@ -48,6 +48,70 @@ TEST(MemPool, TracksUsageAndPeak)
     pool.trim();
 }
 
+TEST(MemPool, CrossingCacheBoundEvictsOnlyTheExcess)
+{
+    MemPool pool;
+    constexpr u64 kBound = 1 << 20; // 1 MiB = 4 blocks
+    constexpr std::size_t kBlock = 256 * 1024;
+    pool.setCacheBound(kBound);
+    // Burst: 12 blocks live, then all released. Every release past
+    // the bound must shed only the excess, leaving the cache full.
+    std::vector<void *> ptrs;
+    for (int i = 0; i < 12; ++i)
+        ptrs.push_back(pool.allocate(kBlock));
+    for (void *p : ptrs)
+        pool.release(p, kBlock);
+    ptrs.clear();
+    EXPECT_EQ(pool.bytesCached(), kBound);
+    // Regression: the old spill handler flushed the WHOLE cache, so
+    // the next allocation storm re-malloced everything. The surviving
+    // cache must serve it entirely from pool hits.
+    const u64 hitsBefore = pool.poolHits();
+    for (int i = 0; i < 4; ++i)
+        ptrs.push_back(pool.allocate(kBlock));
+    EXPECT_EQ(pool.poolHits() - hitsBefore, 4u);
+    for (void *p : ptrs)
+        pool.release(p, kBlock);
+    pool.trim();
+    EXPECT_EQ(pool.bytesCached(), 0u);
+}
+
+TEST(MemPool, EvictionShedsLargestSizeClassesFirst)
+{
+    MemPool pool;
+    void *small = pool.allocate(1024);
+    void *big = pool.allocate(512 * 1024);
+    pool.release(small, 1024);
+    pool.release(big, 512 * 1024);
+    // Lowering the bound below the cached total must evict the big
+    // block and keep the small one.
+    pool.setCacheBound(4096);
+    EXPECT_EQ(pool.bytesCached(), 1024u);
+    void *again = pool.allocate(1024);
+    EXPECT_EQ(again, small);
+    pool.release(again, 1024);
+    pool.trim();
+}
+
+TEST(MemPool, StreamSynchronizeReclaimsDeferredFrees)
+{
+    Device dev;
+    Stream s(dev, 0);
+    void *p = dev.pool().allocate(4096);
+    s.submit([] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    Event e = s.record();
+    dev.pool().deferRelease(p, 4096, {e});
+    // Owned (and counted as in-use) while the kernel is in flight.
+    EXPECT_EQ(dev.pool().bytesInUse(), 4096u);
+    // The host join alone must reclaim it -- a device idle after a
+    // burst may see no further allocate()/trim() for a long time.
+    s.synchronize();
+    EXPECT_EQ(dev.pool().bytesInUse(), 0u);
+    dev.pool().trim();
+}
+
 TEST(MemPool, ConcurrentAllocReleaseIsSafe)
 {
     Device dev;

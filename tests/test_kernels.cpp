@@ -8,7 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <complex>
+#include <cstring>
+
+#include "ckks/encryptor.hpp"
+#include "ckks/evaluator.hpp"
 #include "ckks/kernels.hpp"
+#include "ckks/keygen.hpp"
 #include "core/rng.hpp"
 
 namespace fideslib::ckks
@@ -203,6 +209,176 @@ TEST_F(KernelTest, AutomorphAppliesPermutationPerLimb)
         for (std::size_t j = 0; j < ctx->degree(); ++j) {
             ASSERT_EQ(out.limb(i).data()[j],
                       a.limb(i).data()[perm[j]]);
+        }
+    }
+}
+
+/** Restores the suite-shared Context's backend knobs even when an
+ *  ASSERT_* bails out of the test body early. */
+struct BackendConfigGuard
+{
+    Context *ctx;
+    u32 limbBatch = ctx->limbBatch();
+    bool fusion = ctx->fusionEnabled();
+    ~BackendConfigGuard()
+    {
+        ctx->setLimbBatch(limbBatch);
+        ctx->setFusion(fusion);
+    }
+};
+
+TEST_F(KernelTest, FusedChainMatchesIndividualKernels)
+{
+    BackendConfigGuard guard{ctx};
+    auto a = randomPoly(3, 20);
+    auto b = randomPoly(3, 21);
+    RNSPoly d0(*ctx, 3, Format::Eval), d0Ref(*ctx, 3, Format::Eval);
+    RNSPoly d1(*ctx, 3, Format::Eval), d1Ref(*ctx, 3, Format::Eval);
+    std::vector<u64> scalars = {11, 13, 17, 19};
+    auto &devs = ctx->devices();
+
+    ASSERT_TRUE(ctx->fusionEnabled());
+    ctx->setLimbBatch(2);
+    devs.resetCounters();
+    kernels::FusedChain(*ctx)
+        .mul(d0, a, b)
+        .mulAdd(d0, b, b)
+        .mul(d1, a, a)
+        .add(d1, d0)
+        .sub(d1, b)
+        .scalarMul(d1, scalars)
+        .run();
+    // ONE logical kernel: ceil(4 limbs / batch 2) = 2 launches for
+    // the whole six-op chain.
+    EXPECT_EQ(devs.aggregateCounters().launches, 2u);
+
+    kernels::mul(d0Ref, a, b);
+    kernels::mulAddInto(d0Ref, b, b);
+    kernels::mul(d1Ref, a, a);
+    kernels::addInto(d1Ref, d0Ref);
+    kernels::subInto(d1Ref, b);
+    kernels::scalarMulInto(d1Ref, scalars);
+    for (std::size_t i = 0; i < d1.numLimbs(); ++i) {
+        for (std::size_t j = 0; j < ctx->degree(); ++j) {
+            ASSERT_EQ(d0.limb(i).data()[j], d0Ref.limb(i).data()[j]);
+            ASSERT_EQ(d1.limb(i).data()[j], d1Ref.limb(i).data()[j]);
+        }
+    }
+
+    // With fusion off the same chain degrades to one logical kernel
+    // per op -- 6 ops x 2 batches -- and still matches bit-exactly.
+    RNSPoly e0(*ctx, 3, Format::Eval), e1(*ctx, 3, Format::Eval);
+    ctx->setFusion(false);
+    devs.resetCounters();
+    kernels::FusedChain(*ctx)
+        .mul(e0, a, b)
+        .mulAdd(e0, b, b)
+        .mul(e1, a, a)
+        .add(e1, e0)
+        .sub(e1, b)
+        .scalarMul(e1, scalars)
+        .run();
+    EXPECT_EQ(devs.aggregateCounters().launches, 12u);
+    for (std::size_t i = 0; i < e1.numLimbs(); ++i) {
+        for (std::size_t j = 0; j < ctx->degree(); ++j) {
+            ASSERT_EQ(e0.limb(i).data()[j], d0Ref.limb(i).data()[j]);
+            ASSERT_EQ(e1.limb(i).data()[j], d1Ref.limb(i).data()[j]);
+        }
+    }
+}
+
+TEST_F(KernelTest, FusedChainSinglePassTrafficAndSummedOps)
+{
+    auto a = randomPoly(2, 22);
+    auto b = randomPoly(2, 23);
+    RNSPoly d0(*ctx, 2, Format::Eval);
+    RNSPoly d1(*ctx, 2, Format::Eval);
+    auto &devs = ctx->devices();
+    const std::size_t n = ctx->degree();
+    const u64 limbBytes = n * sizeof(u64) * d0.numLimbs();
+
+    ASSERT_TRUE(ctx->fusionEnabled());
+    devs.resetCounters();
+    // HMult-shaped chain: reads {a, b}, writes {d0, d1}; d0/d1 reuse
+    // inside the chain stays on-chip.
+    kernels::FusedChain(*ctx)
+        .mul(d0, a, b)
+        .mulAdd(d0, a, a)
+        .mul(d1, b, b)
+        .add(d1, d0)
+        .run();
+    const KernelCounters c = devs.aggregateCounters();
+    EXPECT_EQ(c.bytesRead, 2 * limbBytes);    // a, b: single pass
+    EXPECT_EQ(c.bytesWritten, 2 * limbBytes); // d0, d1
+    // Integer ops are summed over the chain: 5n + 6n + 5n + n.
+    EXPECT_EQ(c.intOps, 17 * n * d0.numLimbs());
+}
+
+TEST(FusedGather, HoistedRotationsNegativeAndBeyondSlotCount)
+{
+    // Hoisted rotations whose indices wrap: negative, and >= the slot
+    // count (they reduce modulo N/2 inside rotationGaloisElt). The
+    // gather is applied in flight inside the fused key-switch inner
+    // product -- no permuted digit is ever materialized -- and the
+    // fused/unfused paths must agree bit-exactly.
+    Parameters base = Parameters::testSmall();
+    const i64 slots = static_cast<i64>(base.ringDegree() / 2);
+    const std::vector<i64> ks = {-1, slots + 1, -(slots + 3)};
+
+    Parameters pFused = base;
+    pFused.fusion = true;
+    Parameters pUnfused = base;
+    pUnfused.fusion = false;
+    Context ctxFused(pFused), ctxUnfused(pUnfused);
+
+    auto run = [&](Context &ctx) {
+        KeyGen kg(ctx);
+        // Keys live per Galois element, so the wrapped indices reuse
+        // the keys of their reduced counterparts {1, -1, -3}.
+        KeyBundle keys = kg.makeBundle({1, -1, -3});
+        Evaluator eval(ctx, keys);
+        Encoder enc(ctx);
+        Encryptor encr(ctx, keys.pk);
+        std::vector<std::complex<double>> z(slots);
+        for (i64 i = 0; i < slots; ++i)
+            z[i] = {std::cos(0.21 * i), std::sin(0.83 * i)};
+        auto ct = encr.encrypt(
+            enc.encode(z, static_cast<u32>(slots), 2));
+        auto rots = eval.hoistedRotate(ct, ks);
+        // Decode and check the rotation semantics of each index.
+        for (std::size_t r = 0; r < ks.size(); ++r) {
+            auto got =
+                enc.decode(encr.decrypt(rots[r], kg.secretKey()));
+            for (i64 i = 0; i < slots; ++i) {
+                const i64 src = ((i + ks[r]) % slots + slots) % slots;
+                EXPECT_NEAR(got[i].real(), z[src].real(), 1e-4)
+                    << "k=" << ks[r] << " slot " << i;
+                EXPECT_NEAR(got[i].imag(), z[src].imag(), 1e-4)
+                    << "k=" << ks[r] << " slot " << i;
+            }
+        }
+        return rots;
+    };
+
+    auto fused = run(ctxFused);
+    auto unfused = run(ctxUnfused);
+    ASSERT_EQ(fused.size(), unfused.size());
+    for (std::size_t r = 0; r < fused.size(); ++r) {
+        fused[r].c0.syncHost();
+        fused[r].c1.syncHost();
+        unfused[r].c0.syncHost();
+        unfused[r].c1.syncHost();
+        for (std::size_t i = 0; i < fused[r].c0.numLimbs(); ++i) {
+            ASSERT_EQ(0, std::memcmp(
+                             fused[r].c0.limb(i).data(),
+                             unfused[r].c0.limb(i).data(),
+                             fused[r].c0.limb(i).size() * sizeof(u64)))
+                << "rotation " << r << " limb " << i;
+            ASSERT_EQ(0, std::memcmp(
+                             fused[r].c1.limb(i).data(),
+                             unfused[r].c1.limb(i).data(),
+                             fused[r].c1.limb(i).size() * sizeof(u64)))
+                << "rotation " << r << " limb " << i;
         }
     }
 }

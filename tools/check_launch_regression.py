@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Launches/op regression gate for the limb-batch benchmark.
+
+Compares a fresh BENCH_limb_batch.json against the committed baseline
+and fails (exit 1) if any benchmark row regressed on the launch-economy
+metrics the fusion layer exists to shrink:
+
+  - kernels_per_op   logical kernels per HMult (the headline metric)
+  - kernel_launches  physical launches per op (batches x devices)
+
+Rows are matched by benchmark name. A small tolerance absorbs
+iteration-count rounding; genuinely new rows (no baseline counterpart)
+are reported but never fail the gate.
+
+Usage: check_launch_regression.py BASELINE.json FRESH.json
+"""
+
+import json
+import sys
+
+GATED_COUNTERS = ("kernels_per_op", "kernel_launches")
+TOLERANCE = 1.05  # 5% headroom for iteration rounding
+
+
+def load(path):
+    with open(path) as f:
+        rows = json.load(f)
+    return {row["name"]: row for row in rows}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    baseline = load(sys.argv[1])
+    fresh = load(sys.argv[2])
+    if not fresh:
+        sys.exit("FAIL: no benchmark rows in " + sys.argv[2])
+
+    failures = []
+    for name, row in sorted(fresh.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"NEW  {name}: no baseline row, skipping")
+            continue
+        for counter in GATED_COUNTERS:
+            if counter not in row or counter not in base:
+                continue
+            got, want = row[counter], base[counter]
+            verdict = "OK  " if got <= want * TOLERANCE else "FAIL"
+            print(f"{verdict} {name} {counter}: {got:.2f} "
+                  f"(baseline {want:.2f})")
+            if verdict == "FAIL":
+                failures.append((name, counter, got, want))
+
+    if failures:
+        sys.exit(f"FAIL: {len(failures)} launch-economy regression(s) "
+                 "above the committed baseline")
+    print("launch economy: no regressions")
+
+
+if __name__ == "__main__":
+    main()
