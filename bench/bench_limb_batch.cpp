@@ -17,18 +17,29 @@
  * limb batches round-robin over four streams; per-device launch and
  * traffic counters are reported alongside the aggregate model.
  *
+ * The measured loop runs in the plan-cache steady state: a warmup
+ * multiply captures the KernelGraph for the configured batch size, so
+ * every timed iteration replays it (plan_cache_hits == iterations)
+ * and host_dispatch_us reports the replayed per-op host dispatch cost
+ * -- hazard derivation, stream picking and the per-launch overhead all
+ * collapse into one graph launch (DESIGN.md §1.7).
+ *
  * Besides the console output, every run (over)writes a machine-
  * readable summary (ns/op, host syncs/op, logical kernels/op,
- * per-device launches) to --json_out, defaulting to
- * BENCH_limb_batch.json in the CWD; CI passes the repo-root path,
- * gates on launches/op against the committed baseline
+ * per-device launches, host dispatch us/op, plan-cache hits) to
+ * --json_out, defaulting to BENCH_limb_batch.json in the CWD; CI
+ * passes the repo-root path, gates on launches/op, syncs/op and
+ * plan_cache_hits against the committed baseline
  * (tools/check_launch_regression.py) and uploads the file as a
  * per-commit artifact so the performance trajectory of the
  * asynchronous execution model accumulates across commits.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -36,6 +47,28 @@
 
 namespace
 {
+
+/**
+ * CPU time of the calling thread. Host dispatch cost is measured in
+ * thread CPU time, not wall time: on a machine with fewer cores than
+ * worker threads, wall time charges the submitting thread for every
+ * preemption by a kernel body, drowning the dispatch signal in
+ * scheduler noise.
+ */
+double
+threadCpuNs()
+{
+#ifdef __linux__
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) * 1e9
+         + static_cast<double>(ts.tv_nsec);
+#else
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+#endif
+}
 
 using namespace fideslib;
 using namespace fideslib::bench;
@@ -74,9 +107,24 @@ BM_HMultLimbBatch(benchmark::State &state)
 
     b.ctx->setLimbBatch(batch);
     b.ctx->devices().setLaunchOverheadNs(2000);
+    // Warm the plan cache outside the measured loop (setLimbBatch
+    // invalidated it if the batch changed), so every timed iteration
+    // REPLAYS the captured HMult plan -- the serving steady state.
+    {
+        auto warm = b.eval->multiply(a, c);
+        benchmark::DoNotOptimize(warm.c0.limb(0).data());
+        b.ctx->devices().synchronize();
+    }
     b.ctx->devices().resetCounters();
+    // Host-side dispatch time: multiply() returns once every kernel
+    // is submitted (the work itself retires asynchronously), so the
+    // submitting thread's CPU time up to the return is exactly the
+    // per-op host dispatch cost the plan cache exists to shrink.
+    double dispatchNs = 0;
     for (auto _ : state) {
+        const double t0 = threadCpuNs();
         auto r = b.eval->multiply(a, c);
+        dispatchNs += threadCpuNs() - t0;
         benchmark::DoNotOptimize(r.c0.limb(0).data());
         // Join like a CUDA bench would (cudaDeviceSynchronize): the
         // kernels pipeline asynchronously inside the iteration.
@@ -90,6 +138,9 @@ BM_HMultLimbBatch(benchmark::State &state)
     state.counters["limb_batch"] = batch;
     state.counters["devices"] = gDevices;
     state.counters["streams"] = gStreams;
+    state.counters["host_dispatch_us"] =
+        dispatchNs / 1e3 /
+        static_cast<double>(std::max<u64>(1, state.iterations()));
 }
 
 /**

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <memory>
 
+#include "ckks/graph.hpp"
 #include "ckks/kernels.hpp"
 #include "core/logging.hpp"
 
@@ -81,12 +82,22 @@ struct ConvLaunch
  * on @p srcWaits; @p keep holds the source/target storage alive until
  * the launches retire. With a single stream the product runs inline
  * and no events are returned.
+ *
+ * Participates in plan capture/replay (graph.hpp) through symbolic
+ * operand bindings: @p srcPoly / @p srcPos name the partition
+ * positions behind the raw @p src pointers, @p dstPoly / @p dstPos
+ * those behind @p dst (dstPoly null when the targets are host
+ * scratch, which the plan tracks only through the returned events).
+ * Replays take stream choice and hazards from the captured plan and
+ * skip per-launch dispatch.
  */
 std::vector<ConvLaunch>
 dispatchConvert(const Context &ctx, const ConvTables &tables,
                 std::vector<const u64 *> src, std::vector<u64 *> dst,
                 const std::vector<Event> &srcWaits,
-                std::vector<std::shared_ptr<const void>> keep)
+                std::vector<std::shared_ptr<const void>> keep,
+                const RNSPoly &srcPoly, const std::vector<u32> &srcPos,
+                const RNSPoly *dstPoly, const std::vector<u32> &dstPos)
 {
     DeviceSet &devs = ctx.devices();
     const std::size_t n = ctx.degree();
@@ -99,6 +110,25 @@ dispatchConvert(const Context &ctx, const ConvTables &tables,
     for (u32 t = 0; t < nt; ++t)
         byDevice[ctx.deviceFor(tables.targetIdx[t]).id()].push_back(t);
 
+    kernels::GraphReplay *replay = ctx.replaySession();
+    kernels::GraphCapture *capture = ctx.captureSession();
+    if (replay)
+        replay->beginCustomCall(&srcPoly, dstPoly);
+    else if (capture)
+        capture->beginCustomCall(&srcPoly, dstPoly);
+
+    // The write positions of one launch: the dstPos entries its
+    // target selection covers (empty for host-scratch targets).
+    auto writePositions = [&dstPos](const std::vector<u32> &sel) {
+        std::vector<u32> writes;
+        if (!dstPos.empty()) {
+            writes.reserve(sel.size());
+            for (u32 t : sel)
+                writes.push_back(dstPos[t]);
+        }
+        return writes;
+    };
+
     std::vector<ConvLaunch> launches;
     std::vector<u32> rr(devs.numDevices(), 0);
     for (u32 d = 0; d < devs.numDevices(); ++d) {
@@ -107,9 +137,34 @@ dispatchConvert(const Context &ctx, const ConvTables &tables,
             continue;
         // One launch per involved device (compute bound): reads all
         // sources, writes this device's targets.
-        devs.device(d).launch(ns * n * kWord, sel.size() * n * kWord,
-                              sel.size() * n * (2 * ns + 2));
+        const u64 br = ns * n * kWord;
+        const u64 bw = sel.size() * n * kWord;
+        const u64 ops = sel.size() * n * (2 * ns + 2);
+
+        if (replay) {
+            Stream *st = replay->customNode(br, bw, ops);
+            if (!st) {
+                convertTargets(ctx, tables, src, dst, sel);
+                continue;
+            }
+            std::vector<u32> selCopy = sel;
+            st->submit([&ctx, &tables, src, dst,
+                        sel = std::move(selCopy), keep] {
+                convertTargets(ctx, tables, src, dst, sel);
+            });
+            Event ev = st->record();
+            replay->noteCustomEvent(ev);
+            launches.push_back({std::move(ev), std::move(sel)});
+            continue;
+        }
+
+        devs.device(d).launch(br, bw, ops);
         if (devs.numStreams() == 1) {
+            if (capture) {
+                capture->recordCustomNode(0, br, bw, ops, srcPos,
+                                          writePositions(sel),
+                                          Event());
+            }
             convertTargets(ctx, tables, src, dst, sel);
             continue;
         }
@@ -119,7 +174,12 @@ dispatchConvert(const Context &ctx, const ConvTables &tables,
         std::vector<u32> selCopy = sel;
         st.submit([&ctx, &tables, src, dst, sel = std::move(selCopy),
                    keep] { convertTargets(ctx, tables, src, dst, sel); });
-        launches.push_back({st.record(), std::move(sel)});
+        Event ev = st.record();
+        if (capture) {
+            capture->recordCustomNode(st.id(), br, bw, ops, srcPos,
+                                      writePositions(sel), ev);
+        }
+        launches.push_back({std::move(ev), std::move(sel)});
     }
     return launches;
 }
@@ -199,7 +259,9 @@ modUpDigit(const RNSPoly &coeffPoly, u32 digit)
     auto launches = dispatchConvert(
         ctx, tables, std::move(src), std::move(dst),
         writeEventsOf(sp, tables.sourceIdx),
-        {coeffPoly.partShared(), out.partShared()});
+        {coeffPoly.partShared(), out.partShared()},
+        // Symbolic bindings: q-limb position == global prime index.
+        coeffPoly, tables.sourceIdx, &out, dstPos);
     for (const ConvLaunch &l : launches) {
         for (u32 t : l.targets)
             op[dstPos[t]].noteWrite(l.ev);
@@ -253,7 +315,10 @@ modDown(RNSPoly &a)
     auto launches = dispatchConvert(ctx, tables, std::move(src),
                                     std::move(dst),
                                     writeEventsOf(ap, srcPos),
-                                    {a.partShared(), tmp});
+                                    {a.partShared(), tmp},
+                                    // Targets are host scratch: the
+                                    // plan tracks them via events only.
+                                    a, srcPos, nullptr, {});
     std::vector<Event> convDone;
     for (const ConvLaunch &l : launches) {
         for (u32 pos : srcPos)

@@ -1,7 +1,9 @@
 #include "ckks/context.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "ckks/graph.hpp"
 #include "core/logging.hpp"
 #include "core/primes.hpp"
 
@@ -36,7 +38,9 @@ Context::Context(const Parameters &params)
       limbBatch_(params.limbBatch),
       fusion_(params.fusion),
       nttSchedule_(params.nttSchedule),
-      modMul_(params.modMul)
+      modMul_(params.modMul),
+      graphEnabled_(std::getenv("FIDES_NO_GRAPH") == nullptr),
+      plans_(std::make_unique<kernels::PlanCache>())
 {
     params_.validate();
     // After validate(): bad topology values are user errors, not
@@ -68,6 +72,15 @@ Context::~Context()
         devices_->synchronize();
     if (gCurrent == this)
         gCurrent = nullptr;
+}
+
+void
+Context::invalidatePlans()
+{
+    // A plan must never die under an op that is capturing or
+    // replaying it; the execution knobs are only mutated between ops.
+    FIDES_ASSERT(capture_ == nullptr && replay_ == nullptr);
+    plans_->clear();
 }
 
 void

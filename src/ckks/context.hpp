@@ -27,6 +27,13 @@
 namespace fideslib::ckks
 {
 
+namespace kernels
+{
+class GraphCapture;
+class GraphReplay;
+class PlanCache;
+} // namespace kernels
+
 /** One RNS prime with its NTT machinery. */
 struct PrimeRecord
 {
@@ -167,15 +174,70 @@ class Context
         return devices_->device(d < nd ? d : nd - 1);
     }
 
-    // Backend execution configuration (mutable for the benches). ------
+    // Backend execution configuration (mutable for the benches).
+    // Every knob that shapes the launch schedule or the kernel bodies
+    // invalidates the captured plans: a KernelGraph bakes in the
+    // batch split, the fused-vs-unfused call sequence and the
+    // arithmetic configuration of the op it recorded.
     u32 limbBatch() const { return limbBatch_; }
-    void setLimbBatch(u32 b) { limbBatch_ = b; }
+    void
+    setLimbBatch(u32 b)
+    {
+        if (b != limbBatch_)
+            invalidatePlans();
+        limbBatch_ = b;
+    }
     bool fusionEnabled() const { return fusion_; }
-    void setFusion(bool f) { fusion_ = f; }
+    void
+    setFusion(bool f)
+    {
+        if (f != fusion_)
+            invalidatePlans();
+        fusion_ = f;
+    }
     NttSchedule nttSchedule() const { return nttSchedule_; }
-    void setNttSchedule(NttSchedule s) { nttSchedule_ = s; }
+    void
+    setNttSchedule(NttSchedule s)
+    {
+        if (s != nttSchedule_)
+            invalidatePlans();
+        nttSchedule_ = s;
+    }
     ModMulKind modMulKind() const { return modMul_; }
-    void setModMulKind(ModMulKind k) { modMul_ = k; }
+    void
+    setModMulKind(ModMulKind k)
+    {
+        if (k != modMul_)
+            invalidatePlans();
+        modMul_ = k;
+    }
+
+    // Capture-and-replay plan cache (graph.hpp). ----------------------
+    /** False when the FIDES_NO_GRAPH environment variable is set (the
+     *  escape hatch) or setGraphEnabled(false) was called: every op
+     *  then runs the uncached dispatch path. */
+    bool graphEnabled() const { return graphEnabled_; }
+    void setGraphEnabled(bool e) { graphEnabled_ = e; }
+    /** The per-context store of captured execution plans. */
+    kernels::PlanCache &plans() const { return *plans_; }
+    /** Drops every cached plan (configuration changes call this). */
+    void invalidatePlans();
+    /**
+     * The active capture/replay session, if any -- host-thread-only
+     * execution state consulted by kernels::forBatches and the base-
+     * conversion dispatcher. Managed exclusively by
+     * kernels::PlanScope.
+     */
+    kernels::GraphCapture *captureSession() const { return capture_; }
+    kernels::GraphReplay *replaySession() const { return replay_; }
+    void setCaptureSession(kernels::GraphCapture *c) const
+    {
+        capture_ = c;
+    }
+    void setReplaySession(kernels::GraphReplay *r) const
+    {
+        replay_ = r;
+    }
 
     // Registry (paper Section III-E singleton pattern). ----------------
     static void setCurrent(Context *ctx);
@@ -209,6 +271,11 @@ class Context
     bool fusion_;
     NttSchedule nttSchedule_;
     ModMulKind modMul_;
+
+    bool graphEnabled_;
+    std::unique_ptr<kernels::PlanCache> plans_;
+    mutable kernels::GraphCapture *capture_ = nullptr;
+    mutable kernels::GraphReplay *replay_ = nullptr;
 };
 
 } // namespace fideslib::ckks

@@ -1,5 +1,6 @@
 #include "ckks/kernels.hpp"
 
+#include "ckks/graph.hpp"
 #include "core/logging.hpp"
 
 namespace fideslib::ckks::kernels
@@ -135,6 +136,23 @@ forBatches(const Context &ctx, std::size_t numLimbs,
     const u32 numStreams = devs.numStreams();
     devs.noteLogicalKernel();
 
+    // Replay mode: a captured plan supplies the batch split, stream
+    // assignment and hazard edges; only the body is rebuilt (it
+    // closes over THIS call's polynomials). No hazard derivation, no
+    // stream picking, no per-launch dispatch overhead.
+    if (GraphReplay *replay = ctx.replaySession()) {
+        replay->replayCall(numLimbs, bytesReadPerLimb,
+                           bytesWrittenPerLimb, intOpsPerLimb, fn,
+                           deps, recorded);
+        return;
+    }
+    // Capture mode: execute live below, additionally recording every
+    // launch (stream, batch range, counters) and deriving the hazard
+    // structure symbolically from the Dep list.
+    GraphCapture *capture = ctx.captureSession();
+    if (capture)
+        capture->beginCall(numLimbs, deps);
+
     if (numStreams == 1) {
         // A single stream is in-order by construction: run the
         // batches eagerly on the submitting thread. No events are
@@ -149,6 +167,13 @@ forBatches(const Context &ctx, std::size_t numLimbs,
                 (hi - lo) * bytesReadPerLimb,
                 (hi - lo) * bytesWrittenPerLimb,
                 (hi - lo) * intOpsPerLimb);
+            if (capture) {
+                capture->recordNode(0, lo, hi,
+                                    (hi - lo) * bytesReadPerLimb,
+                                    (hi - lo) * bytesWrittenPerLimb,
+                                    (hi - lo) * intOpsPerLimb, deps,
+                                    extraWaits, Event());
+            }
             fn(lo, hi);
         }
         return;
@@ -179,6 +204,13 @@ forBatches(const Context &ctx, std::size_t numLimbs,
         st.submit([body, keep, lo, hi] { (*body)(lo, hi); });
         Event ev = st.record();
         noteBatch(deps, lo, hi, ev);
+        if (capture) {
+            capture->recordNode(st.id(), lo, hi,
+                                (hi - lo) * bytesReadPerLimb,
+                                (hi - lo) * bytesWrittenPerLimb,
+                                (hi - lo) * intOpsPerLimb, deps,
+                                extraWaits, ev);
+        }
         if (recorded)
             recorded->push_back(std::move(ev));
     };

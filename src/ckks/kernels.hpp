@@ -14,6 +14,15 @@
  * the operand limbs, and returns without joining the host. The only
  * host barriers left in the library are genuine host reads
  * (RNSPoly::syncHost callers).
+ *
+ * Inside a plan scope (graph.hpp) forBatches additionally CAPTURES
+ * its launches -- stream pick, batch split, hazard structure derived
+ * symbolically from the Dep list -- into the Context's plan cache, or
+ * REPLAYS a previously captured plan: batches go straight onto their
+ * recorded streams waiting only on precomputed edges, with no hazard
+ * derivation and no per-launch dispatch overhead. Replay is invisible
+ * here except for speed; the Dep contract below is what makes the
+ * symbolic recording possible.
  */
 
 #pragma once

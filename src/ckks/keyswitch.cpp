@@ -1,6 +1,7 @@
 #include "ckks/keyswitch.hpp"
 
 #include "ckks/basechange.hpp"
+#include "ckks/graph.hpp"
 #include "ckks/kernels.hpp"
 #include "core/logging.hpp"
 
@@ -14,6 +15,11 @@ decomposeAndModUp(const RNSPoly &dEval)
     FIDES_ASSERT(dEval.format() == Format::Eval);
     FIDES_ASSERT(dEval.numSpecial() == 0);
     const u32 level = dEval.level();
+
+    // Hoisted rotations replay this plan once and the KSApply plan
+    // per step; inside an HMult scope it is captured into the outer
+    // graph instead (nested scopes are inert).
+    kernels::PlanScope plan(ctx, kernels::PlanOp::KSDecompose, level);
 
     RNSPoly coeff = dEval.clone();
     kernels::toCoeff(coeff);

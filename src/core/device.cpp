@@ -60,6 +60,8 @@ MemPool::allocate(std::size_t bytes)
     if (!deferred_.empty())
         sweepDeferredLocked();
     ++allocCalls_;
+    if (tracing_)
+        ++trace_[bytes];
     bytesInUse_ += bytes;
     bytesPeak_ = std::max(bytesPeak_, bytesInUse_);
     auto it = freeLists_.find(bytes);
@@ -131,6 +133,9 @@ MemPool::trim()
 {
     std::lock_guard<std::mutex> lock(m_);
     sweepDeferredLocked();
+    // An explicit trim overrides the plan-arena pins: the caller
+    // wants the memory back (teardown does).
+    reserved_.clear();
     trimLocked();
 }
 
@@ -153,10 +158,16 @@ MemPool::evictLocked(u64 targetBytes)
 {
     // Largest size classes first: big blocks shed the most bytes per
     // eviction and are the least likely to be recycled verbatim.
+    // Plan-reserved floors are spared -- a cache spill must not
+    // silently break the zero-malloc replay invariant -- so eviction
+    // may leave the cache above the target when pins dominate.
     for (auto it = freeLists_.rbegin();
          it != freeLists_.rend() && bytesCached_ > targetBytes; ++it) {
         auto &[sz, list] = *it;
-        while (!list.empty() && bytesCached_ > targetBytes) {
+        std::size_t keep = 0;
+        if (auto r = reserved_.find(sz); r != reserved_.end())
+            keep = r->second;
+        while (list.size() > keep && bytesCached_ > targetBytes) {
             std::free(list.back());
             list.pop_back();
             bytesCached_ -= sz;
@@ -222,6 +233,39 @@ MemPool::cacheBound() const
     return cacheBound_;
 }
 
+void
+MemPool::beginAllocTrace()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    tracing_ = true;
+    trace_.clear();
+}
+
+std::map<std::size_t, u32>
+MemPool::endAllocTrace()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    tracing_ = false;
+    return std::move(trace_);
+}
+
+void
+MemPool::reserve(const std::map<std::size_t, u32> &histogram)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (const auto &[bytes, count] : histogram) {
+        auto &list = freeLists_[bytes];
+        while (list.size() < count) {
+            void *p = std::malloc(bytes);
+            FIDES_ASSERT(p != nullptr);
+            list.push_back(p);
+            bytesCached_ += bytes;
+        }
+        u32 &pinned = reserved_[bytes];
+        pinned = std::max(pinned, count);
+    }
+}
+
 // --- Device ----------------------------------------------------------------
 
 void
@@ -236,6 +280,16 @@ Device::launch(u64 bytesRead, u64 bytesWritten, u64 intOps)
     }
     if (launchOverheadNs_)
         spinNs(launchOverheadNs_);
+}
+
+void
+Device::launchReplayed(u64 bytesRead, u64 bytesWritten, u64 intOps)
+{
+    std::lock_guard<std::mutex> lock(countersMutex_);
+    ++counters_.launches;
+    counters_.bytesRead += bytesRead;
+    counters_.bytesWritten += bytesWritten;
+    counters_.intOps += intOps;
 }
 
 KernelCounters
@@ -404,6 +458,8 @@ DeviceSet::resetCounters()
         d->resetCounters();
     hostJoins_.store(0, std::memory_order_relaxed);
     logicalKernels_.store(0, std::memory_order_relaxed);
+    planCaptures_.store(0, std::memory_order_relaxed);
+    planReplays_.store(0, std::memory_order_relaxed);
 }
 
 void

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Serialization round-trip tests (serial.hpp) -- previously the one
+ * subsystem with zero coverage. Ciphertexts and plaintexts must
+ * survive write -> read bit-exactly (including metadata: scale, slot
+ * count, noise estimate, format flags), decrypt to the same values
+ * after a device round trip, and -- the asynchronous-execution
+ * contract -- serialize correctly while kernel work on them is still
+ * in flight: the adapter's syncHost joins are the only barrier
+ * between the stream pipeline and the host reads serialization
+ * performs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "ckks/encryptor.hpp"
+#include "ckks/evaluator.hpp"
+#include "ckks/keygen.hpp"
+#include "ckks/serial.hpp"
+
+namespace fideslib::ckks
+{
+namespace
+{
+
+Parameters
+asyncParams()
+{
+    Parameters p = Parameters::testSmall();
+    p.limbBatch = 2;
+    p.numDevices = 2;
+    p.streamsPerDevice = 2;
+    return p;
+}
+
+struct Fixture
+{
+    Context ctx;
+    KeyGen keygen;
+    KeyBundle keys;
+    Evaluator eval;
+    Encoder enc;
+    Encryptor encr;
+
+    explicit Fixture(const Parameters &p)
+        : ctx(p), keygen(ctx), keys(keygen.makeBundle({1})),
+          eval(ctx, keys), enc(ctx), encr(ctx, keys.pk)
+    {}
+
+    std::vector<std::complex<double>>
+    message() const
+    {
+        const u32 slots = static_cast<u32>(ctx.degree() / 2);
+        std::vector<std::complex<double>> z(slots);
+        for (u32 i = 0; i < slots; ++i)
+            z[i] = {std::cos(0.61 * i), std::sin(0.23 * i)};
+        return z;
+    }
+};
+
+void
+expectHostPolyEqual(const HostPoly &a, const HostPoly &b)
+{
+    EXPECT_EQ(a.level, b.level);
+    EXPECT_EQ(a.special, b.special);
+    EXPECT_EQ(a.eval, b.eval);
+    ASSERT_EQ(a.limbs.size(), b.limbs.size());
+    for (std::size_t i = 0; i < a.limbs.size(); ++i)
+        EXPECT_EQ(a.limbs[i], b.limbs[i]) << "limb " << i;
+}
+
+TEST(Serial, CiphertextRoundTripIsBitExact)
+{
+    Fixture f(Parameters::testSmall());
+    auto z = f.message();
+    auto ct = f.encr.encrypt(
+        f.enc.encode(z, static_cast<u32>(z.size()), f.ctx.maxLevel()));
+    ct.noiseBits = 12.5; // nontrivial metadata must survive
+
+    HostCiphertext h = adapter::toHost(f.ctx, ct);
+    std::stringstream ss;
+    serial::write(ss, h);
+    HostCiphertext r = serial::readCiphertext(ss);
+
+    EXPECT_EQ(h.logN, r.logN);
+    EXPECT_EQ(h.slots, r.slots);
+    EXPECT_DOUBLE_EQ(static_cast<double>(h.scale),
+                     static_cast<double>(r.scale));
+    EXPECT_DOUBLE_EQ(h.noiseBits, r.noiseBits);
+    expectHostPolyEqual(h.c0, r.c0);
+    expectHostPolyEqual(h.c1, r.c1);
+
+    // ... and the deserialized ciphertext decrypts to the message.
+    Ciphertext back = adapter::toDevice(f.ctx, r);
+    auto decoded = f.enc.decode(
+        f.encr.decrypt(back, f.keygen.secretKey()));
+    for (std::size_t i = 0; i < z.size(); ++i) {
+        EXPECT_NEAR(decoded[i].real(), z[i].real(), 1e-3);
+        EXPECT_NEAR(decoded[i].imag(), z[i].imag(), 1e-3);
+    }
+}
+
+TEST(Serial, PlaintextRoundTripIsBitExact)
+{
+    Fixture f(Parameters::testSmall());
+    auto z = f.message();
+    Plaintext pt =
+        f.enc.encode(z, static_cast<u32>(z.size()), f.ctx.maxLevel());
+
+    HostPlaintext h = adapter::toHost(f.ctx, pt);
+    std::stringstream ss;
+    serial::write(ss, h);
+    HostPlaintext r = serial::readPlaintext(ss);
+
+    EXPECT_EQ(h.logN, r.logN);
+    EXPECT_EQ(h.slots, r.slots);
+    EXPECT_DOUBLE_EQ(static_cast<double>(h.scale),
+                     static_cast<double>(r.scale));
+    expectHostPolyEqual(h.poly, r.poly);
+}
+
+TEST(Serial, SerializesCorrectlyWithKernelsStillInFlight)
+{
+    // Multiply + rescale on a multi-stream topology, then serialize
+    // IMMEDIATELY -- kernels on the result are still queued. The
+    // adapter's syncHost joins must be sufficient: the bytes written
+    // mid-flight must equal the bytes written after a full device
+    // join (and equal what an inline single-stream context produces).
+    Fixture f(asyncParams());
+    auto z = f.message();
+    auto a = f.encr.encrypt(
+        f.enc.encode(z, static_cast<u32>(z.size()), f.ctx.maxLevel()));
+    auto b = f.encr.encrypt(
+        f.enc.encode(z, static_cast<u32>(z.size()), f.ctx.maxLevel()));
+
+    auto m = f.eval.multiply(a, b);
+    f.eval.rescaleInPlace(m); // still pipelining stream-side
+
+    std::stringstream inFlight;
+    serial::write(inFlight, adapter::toHost(f.ctx, m));
+
+    // Now the reference bytes, after everything provably retired.
+    f.ctx.devices().synchronize();
+    std::stringstream settled;
+    serial::write(settled, adapter::toHost(f.ctx, m));
+
+    EXPECT_EQ(inFlight.str(), settled.str())
+        << "serialization raced in-flight kernels: syncHost joins "
+           "are insufficient";
+
+    // Round-trip the mid-flight bytes and check they decrypt.
+    inFlight.seekg(0);
+    Ciphertext back =
+        adapter::toDevice(f.ctx, serial::readCiphertext(inFlight));
+    auto decoded = f.enc.decode(
+        f.encr.decrypt(back, f.keygen.secretKey()));
+    for (std::size_t i = 0; i < z.size(); ++i) {
+        const double wantRe = z[i].real() * z[i].real()
+                            - z[i].imag() * z[i].imag();
+        EXPECT_NEAR(decoded[i].real(), wantRe, 2e-2) << "slot " << i;
+    }
+}
+
+TEST(SerialDeathTest, TruncatedStreamAborts)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Fixture f(Parameters::testSmall());
+    auto z = f.message();
+    auto ct = f.encr.encrypt(
+        f.enc.encode(z, static_cast<u32>(z.size()), f.ctx.maxLevel()));
+    std::stringstream ss;
+    serial::write(ss, adapter::toHost(f.ctx, ct));
+    std::string bytes = ss.str();
+
+    EXPECT_DEATH(
+        {
+            std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+            (void)serial::readCiphertext(cut);
+        },
+        "truncated");
+}
+
+TEST(SerialDeathTest, WrongMagicAborts)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Fixture f(Parameters::testSmall());
+    auto z = f.message();
+    Plaintext pt =
+        f.enc.encode(z, static_cast<u32>(z.size()), f.ctx.maxLevel());
+    std::stringstream ss;
+    serial::write(ss, adapter::toHost(f.ctx, pt));
+
+    // A plaintext stream is not a ciphertext stream.
+    EXPECT_DEATH((void)serial::readCiphertext(ss),
+                 "not a FIDESlib ciphertext");
+}
+
+} // namespace
+} // namespace fideslib::ckks

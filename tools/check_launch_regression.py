@@ -1,16 +1,27 @@
 #!/usr/bin/env python3
-"""Launches/op regression gate for the limb-batch benchmark.
+"""Launch-economy regression gate for the limb-batch benchmark.
 
 Compares a fresh BENCH_limb_batch.json against the committed baseline
-and fails (exit 1) if any benchmark row regressed on the launch-economy
-metrics the fusion layer exists to shrink:
+and fails (exit 1) if any benchmark row regressed on the metrics the
+fusion and plan-cache layers exist to shrink:
 
   - kernels_per_op   logical kernels per HMult (the headline metric)
   - kernel_launches  physical launches per op (batches x devices)
+  - syncs_per_op     host joins per op: a replayed plan (or any other
+                     change) silently re-introducing host barriers
+                     fails CI, not just launch-count regressions
+
+and if the plan cache stopped engaging:
+
+  - plan_cache_hits  must stay >= 1 whenever the fresh row reports it
+                     (the bench warms the cache, so a zero means
+                     capture/replay broke or was disabled)
 
 Rows are matched by benchmark name. A small tolerance absorbs
 iteration-count rounding; genuinely new rows (no baseline counterpart)
-are reported but never fail the gate.
+are reported but never fail the gate. Timing counters such as
+host_dispatch_us are emitted for the per-commit trajectory but not
+gated -- CI machines are too noisy for wall-clock thresholds.
 
 Usage: check_launch_regression.py BASELINE.json FRESH.json
 """
@@ -18,7 +29,8 @@ Usage: check_launch_regression.py BASELINE.json FRESH.json
 import json
 import sys
 
-GATED_COUNTERS = ("kernels_per_op", "kernel_launches")
+GATED_COUNTERS = ("kernels_per_op", "kernel_launches", "syncs_per_op")
+MIN_ONE_COUNTERS = ("plan_cache_hits",)
 TOLERANCE = 1.05  # 5% headroom for iteration rounding
 
 
@@ -38,6 +50,15 @@ def main():
 
     failures = []
     for name, row in sorted(fresh.items()):
+        # Floors first: they apply even to rows with no baseline.
+        for counter in MIN_ONE_COUNTERS:
+            if counter not in row:
+                continue
+            got = row[counter]
+            verdict = "OK  " if got >= 1 else "FAIL"
+            print(f"{verdict} {name} {counter}: {got:.2f} (floor 1)")
+            if verdict == "FAIL":
+                failures.append((name, counter, got, 1))
         base = baseline.get(name)
         if base is None:
             print(f"NEW  {name}: no baseline row, skipping")
