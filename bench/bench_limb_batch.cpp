@@ -45,6 +45,8 @@
 
 #include "bench_common.hpp"
 
+#include "ckks/graph.hpp"
+
 namespace
 {
 
@@ -133,6 +135,19 @@ BM_HMultLimbBatch(benchmark::State &state)
     reportPlatformModel(state, state.iterations(), b.ctx->devices());
     reportPerDeviceCounters(state, state.iterations(),
                             b.ctx->devices());
+    // Plan-cache observability (Context::planStats): the number of
+    // live keys and the pinned arena footprint land in the committed
+    // trajectory, so a key-space leak -- a shape change silently
+    // widening the key set, or invalidation leaking arenas -- is
+    // visible across commits next to plan_cache_hits. Sampled BEFORE
+    // the knob restore below, which invalidates the plans and
+    // releases their arenas.
+    const kernels::PlanCacheStats ps = b.ctx->planStats();
+    state.counters["plan_keys"] =
+        static_cast<double>(ps.keys.size());
+    state.counters["plan_misses"] = static_cast<double>(ps.misses);
+    state.counters["plan_arena_mb"] =
+        static_cast<double>(ps.reservedBytes) / 1e6;
     b.ctx->devices().setLaunchOverheadNs(0);
     b.ctx->setLimbBatch(benchParams().limbBatch);
     state.counters["limb_batch"] = batch;

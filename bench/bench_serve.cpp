@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Serving-throughput benchmark for the batched front door
+ * (serve/server.hpp): N identical stats-style requests -- the
+ * multiply/rescale/rotate/add/square chain of encrypted_stats --
+ * submitted to a Server over a multi-device, multi-stream DeviceSet,
+ * measured as end-to-end throughput (requests/s and homomorphic
+ * ops/s) and per-request latency (p50/p99) as a function of the
+ * submitter-thread count.
+ *
+ * The run is the plan-cache steady state: a warmup request captures
+ * every plan, so measured requests replay them; what scales with
+ * submitters is exactly the per-request host dispatch the plan cache
+ * made cheap, spread over disjoint stream leases. Results are
+ * bit-identical across submitter counts (proven by test_serve); this
+ * bench measures only the schedule.
+ *
+ * Writes a machine-readable summary to --json_out (default
+ * BENCH_serve.json in the CWD). CI gates multi-submitter scaling
+ * against the single-submitter row via
+ * tools/check_launch_regression.py -- the ratio gate applies only on
+ * machines with enough cores (reported in the "cores" field) for
+ * extra submitters to be physically able to add wall-clock
+ * throughput over the kernel compute one request already pipelines.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckks/encryptor.hpp"
+#include "ckks/graph.hpp"
+#include "ckks/keygen.hpp"
+#include "serve/server.hpp"
+
+using namespace fideslib;
+using namespace fideslib::ckks;
+using namespace fideslib::serve;
+
+namespace
+{
+
+u32 gDevices = 2;
+u32 gStreams = 8; //!< total streams across all devices
+u32 gRequests = 48;
+std::vector<u32> gSubmitters = {1, 4};
+std::string gJsonOut = "BENCH_serve.json";
+
+constexpr u32 kOpsPerRequest = 6; //!< statsProgram's homomorphic ops
+
+/** The measured program: encrypted_stats' hot chain. */
+Request
+statsProgram(Ciphertext x, Ciphertext y)
+{
+    Request r;
+    u32 a = r.input(std::move(x));
+    u32 b = r.input(std::move(y));
+    u32 m = r.multiply(a, b);
+    r.rescale(m);
+    u32 rot = r.rotate(m, 1);
+    u32 s = r.add(rot, m);
+    u32 sq = r.square(s);
+    r.rescale(sq);
+    return r;
+}
+
+struct RunResult
+{
+    u32 submitters;
+    double seconds;
+    double p50Ms;
+    double p99Ms;
+    u64 planHits;
+};
+
+RunResult
+runOnce(const Context &ctx, const KeyBundle &keys,
+        const Ciphertext &x, const Ciphertext &y, u32 submitters)
+{
+    // Requests are pre-built so the measured region contains only
+    // serving work (the clone traffic is client-side in the paper's
+    // MLaaS picture).
+    std::vector<Request> requests;
+    requests.reserve(gRequests);
+    for (u32 i = 0; i < gRequests; ++i)
+        requests.push_back(statsProgram(x.clone(), y.clone()));
+    ctx.devices().synchronize();
+    const u64 hits0 = ctx.devices().planReplays();
+
+    Server::Options opt;
+    opt.submitters = submitters;
+    Server server(ctx, keys, opt);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<Handle> handles;
+    handles.reserve(requests.size());
+    for (Request &r : requests)
+        handles.push_back(server.submit(std::move(r)));
+    std::vector<double> latencies;
+    latencies.reserve(handles.size());
+    for (Handle &h : handles) {
+        (void)h.get();
+        latencies.push_back(h.latencyMs());
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double p) {
+        std::size_t i = static_cast<std::size_t>(
+            p * static_cast<double>(latencies.size() - 1));
+        return latencies[i];
+    };
+    return {submitters, seconds, pct(0.50), pct(0.99),
+            ctx.devices().planReplays() - hits0};
+}
+
+void
+parseFlags(int argc, char **argv)
+{
+    auto value = [&](int &i) -> const char * {
+        const char *arg = argv[i];
+        const char *eq = std::strchr(arg, '=');
+        if (eq)
+            return eq + 1;
+        if (i + 1 < argc)
+            return argv[++i];
+        fatal("%.24s requires a value", arg);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--devices", 9) == 0) {
+            gDevices = static_cast<u32>(std::atoi(value(i)));
+        } else if (std::strncmp(a, "--streams", 9) == 0) {
+            gStreams = static_cast<u32>(std::atoi(value(i)));
+        } else if (std::strncmp(a, "--requests", 10) == 0) {
+            gRequests = static_cast<u32>(std::atoi(value(i)));
+        } else if (std::strncmp(a, "--submitters", 12) == 0) {
+            gSubmitters.clear();
+            std::string list = value(i);
+            for (std::size_t p = 0; p < list.size();) {
+                std::size_t c = list.find(',', p);
+                if (c == std::string::npos)
+                    c = list.size();
+                gSubmitters.push_back(static_cast<u32>(
+                    std::atoi(list.substr(p, c - p).c_str())));
+                p = c + 1;
+            }
+        } else if (std::strncmp(a, "--json_out", 10) == 0) {
+            gJsonOut = value(i);
+        } else {
+            fatal("unknown flag %.40s", a);
+        }
+    }
+    if (gDevices < 1 || gStreams < gDevices || gRequests < 1 ||
+        gSubmitters.empty())
+        fatal("bad flag values");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    parseFlags(argc, argv);
+
+    Parameters p = Parameters::paper13();
+    p.numDevices = gDevices;
+    p.streamsPerDevice = std::max(1u, gStreams / gDevices);
+    Context ctx(p);
+    KeyGen keygen(ctx);
+    KeyBundle keys = keygen.makeBundle({1});
+    Encoder enc(ctx);
+    Encryptor encr(ctx, keys.pk);
+
+    const u32 slots = static_cast<u32>(ctx.degree() / 2);
+    std::vector<std::complex<double>> xs(slots), ys(slots);
+    for (u32 i = 0; i < slots; ++i) {
+        xs[i] = {std::cos(0.37 * i), std::sin(0.91 * i)};
+        ys[i] = {std::sin(0.53 * i), std::cos(0.11 * i)};
+    }
+    auto x = encr.encrypt(enc.encode(xs, slots, ctx.maxLevel()));
+    auto y = encr.encrypt(enc.encode(ys, slots, ctx.maxLevel()));
+
+    // The launch-bound regime of the paper's Figure 7, like
+    // bench_limb_batch: per-launch overhead makes host dispatch the
+    // resource the submitter pool multiplies.
+    ctx.setLimbBatch(4);
+    ctx.devices().setLaunchOverheadNs(2000);
+
+    // Warm the plan cache: the measured loops replay.
+    {
+        Server warm(ctx, keys);
+        warm.submit(statsProgram(x.clone(), y.clone())).get();
+    }
+
+    const u32 cores = std::max(1u, std::thread::hardware_concurrency());
+    std::printf("bench_serve: %u device(s) x %u stream(s)/device, "
+                "%u requests x %u ops, %u core(s)\n",
+                gDevices, ctx.devices().streamsPerDevice(), gRequests,
+                kOpsPerRequest, cores);
+
+    std::vector<RunResult> rows;
+    for (u32 s : gSubmitters)
+        rows.push_back(runOnce(ctx, keys, x, y, s));
+
+    kernels::PlanCacheStats ps = ctx.planStats();
+    std::FILE *f = std::fopen(gJsonOut.c_str(), "w");
+    if (!f)
+        fatal("cannot write %.200s", gJsonOut.c_str());
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const RunResult &r = rows[i];
+        const double reqPerSec =
+            static_cast<double>(gRequests) / r.seconds;
+        std::printf("  submitters=%u  %8.1f req/s  %8.1f ops/s  "
+                    "p50 %6.2f ms  p99 %6.2f ms\n",
+                    r.submitters, reqPerSec, reqPerSec * kOpsPerRequest,
+                    r.p50Ms, r.p99Ms);
+        std::fprintf(
+            f,
+            "  {\"name\": \"serve_s%u\", \"submitters\": %u, "
+            "\"requests\": %u, \"ops_per_request\": %u, "
+            "\"requests_per_sec\": %.2f, \"ops_per_sec\": %.2f, "
+            "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+            "\"plan_cache_hits\": %llu, \"plan_keys\": %zu, "
+            "\"plan_arena_mb\": %.2f, \"cores\": %u}%s\n",
+            r.submitters, r.submitters, gRequests, kOpsPerRequest,
+            reqPerSec, reqPerSec * kOpsPerRequest, r.p50Ms, r.p99Ms,
+            static_cast<unsigned long long>(r.planHits),
+            ps.keys.size(),
+            static_cast<double>(ps.reservedBytes) / 1e6, cores,
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return 0;
+}

@@ -130,6 +130,7 @@ dispatchConvert(const Context &ctx, const ConvTables &tables,
     };
 
     std::vector<ConvLaunch> launches;
+    const StreamLease &leased = ctx.streamLease();
     std::vector<u32> rr(devs.numDevices(), 0);
     for (u32 d = 0; d < devs.numDevices(); ++d) {
         std::vector<u32> &sel = byDevice[d];
@@ -168,7 +169,7 @@ dispatchConvert(const Context &ctx, const ConvTables &tables,
             convertTargets(ctx, tables, src, dst, sel);
             continue;
         }
-        Stream &st = devs.streamOfDevice(d, rr[d]++);
+        Stream &st = leased.streamOfDevice(d, rr[d]++);
         for (const Event &e : srcWaits)
             st.wait(e);
         std::vector<u32> selCopy = sel;
@@ -190,9 +191,9 @@ writeEventsOf(const LimbPartition &p, const std::vector<u32> &positions)
 {
     std::vector<Event> evs;
     for (u32 pos : positions) {
-        const Event &w = p[pos].lastWrite();
+        Event w = p[pos].lastWrite();
         if (!w.ready())
-            evs.push_back(w);
+            evs.push_back(std::move(w));
     }
     return evs;
 }

@@ -15,6 +15,24 @@ namespace
 
 Context *gCurrent = nullptr;
 
+/**
+ * Per-thread execution state bound to one Context: the active
+ * capture/replay session and the installed stream lease. Sessions are
+ * strictly scoped (PlanScope RAII on one thread), so a single slot
+ * per thread suffices; the owning-context tag keeps a stale slot from
+ * leaking into another Context's ops.
+ */
+struct ThreadExecState
+{
+    const Context *ctx = nullptr;
+    kernels::GraphCapture *capture = nullptr;
+    kernels::GraphReplay *replay = nullptr;
+    const Context *leaseCtx = nullptr;
+    const StreamLease *lease = nullptr;
+};
+
+thread_local ThreadExecState tExec;
+
 /** Product of the primes selected by @p idx as a BigInt. */
 BigInt
 primeProduct(const std::vector<PrimeRecord> &primes,
@@ -48,6 +66,7 @@ Context::Context(const Parameters &params)
     devices_ = std::make_unique<DeviceSet>(params_.numDevices,
                                            params_.streamsPerDevice,
                                            params_.launchOverheadNs);
+    defaultLease_ = std::make_unique<StreamLease>(*devices_);
     generatePrimeChain();
     buildConvTables();
     crt_.resize(params_.multDepth + 1);
@@ -74,13 +93,80 @@ Context::~Context()
         gCurrent = nullptr;
 }
 
+kernels::GraphCapture *
+Context::captureSession() const
+{
+    return tExec.ctx == this ? tExec.capture : nullptr;
+}
+
+kernels::GraphReplay *
+Context::replaySession() const
+{
+    return tExec.ctx == this ? tExec.replay : nullptr;
+}
+
+void
+Context::setCaptureSession(kernels::GraphCapture *c) const
+{
+    if (c) {
+        tExec.ctx = this;
+        tExec.capture = c;
+        tExec.replay = nullptr;
+    } else if (tExec.ctx == this) {
+        tExec.capture = nullptr;
+    }
+}
+
+void
+Context::setReplaySession(kernels::GraphReplay *r) const
+{
+    if (r) {
+        tExec.ctx = this;
+        tExec.replay = r;
+        tExec.capture = nullptr;
+    } else if (tExec.ctx == this) {
+        tExec.replay = nullptr;
+    }
+}
+
+const StreamLease &
+Context::streamLease() const
+{
+    if (tExec.leaseCtx == this && tExec.lease)
+        return *tExec.lease;
+    return *defaultLease_;
+}
+
+void
+Context::setThreadLease(const StreamLease *lease) const
+{
+    tExec.leaseCtx = lease ? this : nullptr;
+    tExec.lease = lease;
+}
+
 void
 Context::invalidatePlans()
 {
     // A plan must never die under an op that is capturing or
-    // replaying it; the execution knobs are only mutated between ops.
-    FIDES_ASSERT(capture_ == nullptr && replay_ == nullptr);
+    // replaying it; the execution knobs are only mutated between ops
+    // (PlanCache::clear asserts no session is active on ANY thread).
+    FIDES_ASSERT(captureSession() == nullptr &&
+                 replaySession() == nullptr);
     plans_->clear();
+    // The cleared plans' scratch arenas must not stay parked on the
+    // pool free lists: a config sweep (the limb-batch bench) would
+    // otherwise accrete one dead arena per configuration.
+    for (u32 d = 0; d < devices_->numDevices(); ++d)
+        devices_->device(d).pool().unreserve();
+}
+
+kernels::PlanCacheStats
+Context::planStats() const
+{
+    kernels::PlanCacheStats stats = plans_->stats();
+    for (u32 d = 0; d < devices_->numDevices(); ++d)
+        stats.reservedBytes += devices_->device(d).pool().bytesReserved();
+    return stats;
 }
 
 void
@@ -209,6 +295,7 @@ const CrtReconstructor &
 Context::reconstructor(u32 level) const
 {
     FIDES_ASSERT(level <= params_.multDepth);
+    std::lock_guard<std::mutex> lock(lazyCacheMutex_);
     if (!crt_[level]) {
         std::vector<Modulus> mods;
         for (u32 i = 0; i <= level; ++i)
@@ -221,6 +308,10 @@ Context::reconstructor(u32 level) const
 const std::vector<u32> &
 Context::automorphPerm(u64 galoisElt) const
 {
+    // Mutex-guarded lazy cache: concurrent rotations may request new
+    // permutations. Map nodes are stable, so the returned reference
+    // stays valid across later insertions by other submitters.
+    std::lock_guard<std::mutex> lock(lazyCacheMutex_);
     auto it = automorphCache_.find(galoisElt);
     if (it != automorphCache_.end())
         return it->second;

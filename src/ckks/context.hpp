@@ -12,9 +12,11 @@
 
 #pragma once
 
+#include <atomic>
 #include <complex>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ckks/parameters.hpp"
@@ -32,6 +34,7 @@ namespace kernels
 class GraphCapture;
 class GraphReplay;
 class PlanCache;
+struct PlanCacheStats;
 } // namespace kernels
 
 /** One RNS prime with its NTT machinery. */
@@ -158,6 +161,22 @@ class Context
      */
     DeviceSet &devices() const { return *devices_; }
     /**
+     * The stream subset the CALLING THREAD dispatches onto: the
+     * thread's active lease (serving-layer submitters install one via
+     * setThreadLease), or the context's whole-set default. The kernel
+     * layer routes every stream pick through this, so a request's
+     * kernels stay on its submitter's leased streams (DESIGN.md 1.8).
+     */
+    const StreamLease &streamLease() const;
+    /**
+     * Installs @p lease as the calling thread's active lease (null
+     * restores the whole-set default). The lease must outlive its
+     * installation and view this context's DeviceSet; managed RAII-
+     * style by serve::Server workers.
+     */
+    void setThreadLease(const StreamLease *lease) const;
+
+    /**
      * Placement policy: the device owning global prime @p primeIdx.
      * The RNS base is split into contiguous blocks, one per device
      * (the paper's multi-GPU partitioning); matching limbs of two
@@ -218,26 +237,50 @@ class Context
      *  then runs the uncached dispatch path. */
     bool graphEnabled() const { return graphEnabled_; }
     void setGraphEnabled(bool e) { graphEnabled_ = e; }
-    /** The per-context store of captured execution plans. */
+    /** The per-context store of captured execution plans (thread-safe
+     *  with single-flight capture; see PlanCache). */
     kernels::PlanCache &plans() const { return *plans_; }
-    /** Drops every cached plan (configuration changes call this). */
+    /**
+     * Drops every cached plan AND releases their reserved MemPool
+     * arenas (configuration changes call this). Must not race active
+     * captures/replays: execution knobs are mutated only between ops,
+     * never while a server is mid-request.
+     */
     void invalidatePlans();
     /**
-     * The active capture/replay session, if any -- host-thread-only
-     * execution state consulted by kernels::forBatches and the base-
-     * conversion dispatcher. Managed exclusively by
-     * kernels::PlanScope.
+     * Per-key hit/miss counts plus the reserved-arena footprint
+     * summed over the device pools -- the plan-cache observability
+     * hook benches report so a key-space leak (a shape change
+     * silently widening the key set) shows up in the committed
+     * trajectory.
      */
-    kernels::GraphCapture *captureSession() const { return capture_; }
-    kernels::GraphReplay *replaySession() const { return replay_; }
-    void setCaptureSession(kernels::GraphCapture *c) const
+    kernels::PlanCacheStats planStats() const;
+    /**
+     * How many submitters may replay a plan concurrently: plan
+     * storage reserves (multiplier x footprint) arena blocks so
+     * every concurrent replay is served from pool hits. Set by
+     * serve::Server to its submitter count; 1 outside serving.
+     */
+    u32 planArenaMultiplier() const
     {
-        capture_ = c;
+        return planArenaMultiplier_.load(std::memory_order_relaxed);
     }
-    void setReplaySession(kernels::GraphReplay *r) const
+    void setPlanArenaMultiplier(u32 m) const
     {
-        replay_ = r;
+        planArenaMultiplier_.store(m ? m : 1,
+                                   std::memory_order_relaxed);
     }
+    /**
+     * The CALLING THREAD's active capture/replay session, if any --
+     * per-submitter execution state consulted by kernels::forBatches
+     * and the base-conversion dispatcher. Thread-local (each serving
+     * submitter captures or replays independently); managed
+     * exclusively by kernels::PlanScope.
+     */
+    kernels::GraphCapture *captureSession() const;
+    kernels::GraphReplay *replaySession() const;
+    void setCaptureSession(kernels::GraphCapture *c) const;
+    void setReplaySession(kernels::GraphReplay *r) const;
 
     // Registry (paper Section III-E singleton pattern). ----------------
     static void setCurrent(Context *ctx);
@@ -263,6 +306,10 @@ class Context
     std::vector<u64> qlInvModQ_, qlInvModQShoup_;
     std::vector<long double> levelScales_;
 
+    // Lazily built caches, mutex-guarded: rotations consult the
+    // automorphism cache from every submitter thread (std::map nodes
+    // are stable, so returned references outlive later insertions).
+    mutable std::mutex lazyCacheMutex_;
     mutable std::vector<std::unique_ptr<CrtReconstructor>> crt_;
     mutable std::map<u64, std::vector<u32>> automorphCache_;
     mutable Prng prng_;
@@ -274,8 +321,8 @@ class Context
 
     bool graphEnabled_;
     std::unique_ptr<kernels::PlanCache> plans_;
-    mutable kernels::GraphCapture *capture_ = nullptr;
-    mutable kernels::GraphReplay *replay_ = nullptr;
+    mutable std::atomic<u32> planArenaMultiplier_{1};
+    std::unique_ptr<StreamLease> defaultLease_;
 };
 
 } // namespace fideslib::ckks

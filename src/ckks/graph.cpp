@@ -22,22 +22,132 @@ depLimbRange(const Dep &d, std::size_t lo, std::size_t hi)
     return {d.offset + lo, d.offset + hi};
 }
 
+/**
+ * Pins @p multiplier x a plan's per-device scratch histograms in the
+ * device pools -- the arena reservation shared by plan storage and
+ * the Server's top-up of pre-server plans. reserve() takes per-class
+ * maxima, so repeated calls only ever grow the pins.
+ */
+void
+reserveScaledScratch(DeviceSet &devs,
+                     const std::vector<std::map<std::size_t, u32>> &scratch,
+                     u32 multiplier)
+{
+    for (u32 d = 0; d < devs.numDevices(); ++d) {
+        std::map<std::size_t, u32> scaled = scratch[d];
+        if (multiplier > 1)
+            for (auto &[bytes, count] : scaled)
+                count *= multiplier;
+        devs.device(d).pool().reserve(scaled);
+    }
+}
+
 } // namespace
 
 // --- PlanCache --------------------------------------------------------
 
-const KernelGraph *
-PlanCache::find(const PlanKey &key) const
+PlanCache::Lease
+PlanCache::acquire(const PlanKey &key)
 {
-    auto it = plans_.find(key);
-    return it == plans_.end() ? nullptr : it->second.get();
+    std::unique_lock<std::mutex> lock(m_);
+    for (;;) {
+        Entry &e = plans_[key];
+        if (e.graph) {
+            ++e.hits;
+            activeLeases_.fetch_add(1, std::memory_order_relaxed);
+            return {Role::Replay, e.graph.get()};
+        }
+        if (!e.capturing) {
+            // Single-flight: this caller captures; same-key callers
+            // arriving before publish()/abandon() block below.
+            e.capturing = true;
+            ++e.misses;
+            activeLeases_.fetch_add(1, std::memory_order_relaxed);
+            return {Role::Capture, nullptr};
+        }
+        published_.wait(lock);
+        // Re-race from scratch: the capture may have been published
+        // (replay it), abandoned (someone must capture again), or the
+        // whole cache cleared meanwhile.
+    }
 }
 
 void
-PlanCache::store(const PlanKey &key, std::unique_ptr<KernelGraph> graph)
+PlanCache::publish(const PlanKey &key, std::unique_ptr<KernelGraph> graph)
 {
     FIDES_ASSERT(graph != nullptr);
-    plans_[key] = std::move(graph);
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        Entry &e = plans_[key];
+        FIDES_ASSERT(e.capturing && !e.graph);
+        e.capturing = false;
+        e.graph = std::move(graph);
+    }
+    activeLeases_.fetch_sub(1, std::memory_order_relaxed);
+    published_.notify_all();
+}
+
+void
+PlanCache::abandon(const PlanKey &key)
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        auto it = plans_.find(key);
+        FIDES_ASSERT(it != plans_.end() && it->second.capturing);
+        it->second.capturing = false;
+    }
+    activeLeases_.fetch_sub(1, std::memory_order_relaxed);
+    published_.notify_all();
+}
+
+void
+PlanCache::release()
+{
+    activeLeases_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    // A plan must never die under an active capture or replay --
+    // execution knobs may only change while no op is in flight.
+    FIDES_ASSERT(activeLeases_.load(std::memory_order_relaxed) == 0);
+    plans_.clear();
+}
+
+std::size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    std::size_t stored = 0;
+    for (const auto &[key, e] : plans_)
+        if (e.graph)
+            ++stored;
+    return stored;
+}
+
+void
+PlanCache::reserveScratch(DeviceSet &devs, u32 multiplier) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (const auto &[key, e] : plans_)
+        if (e.graph)
+            reserveScaledScratch(devs, e.graph->scratch, multiplier);
+}
+
+PlanCacheStats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    PlanCacheStats out;
+    out.keys.reserve(plans_.size());
+    for (const auto &[key, e] : plans_) {
+        out.keys.push_back({key, e.hits, e.misses});
+        out.hits += e.hits;
+        out.misses += e.misses;
+    }
+    return out;
 }
 
 // --- GraphCapture -----------------------------------------------------
@@ -417,13 +527,14 @@ GraphReplay::replayCall(
         bindSlot(call.depSlots[j], *deps[j].poly);
 
     DeviceSet &devs = ctx_->devices();
+    const StreamLease &lease = ctx_->streamLease();
     if (devs.numStreams() == 1) {
         // Inline replay: batches run eagerly in capture order, which
         // is the live submission order -- bit-identical by
         // construction, with only the launch accounting changed.
         for (u32 k = 0; k < call.numNodes; ++k) {
             const GraphNode &node = graph_->nodes[nodeCursor_++];
-            devs.stream(node.streamId)
+            lease.remap(node.streamId)
                 .device()
                 .launchReplayed((node.hi - node.lo) * bytesReadPerLimb,
                                 (node.hi - node.lo) * bytesWrittenPerLimb,
@@ -454,7 +565,10 @@ GraphReplay::replayCall(
     for (u32 k = 0; k < call.numNodes; ++k) {
         const u32 idx = static_cast<u32>(nodeCursor_++);
         const GraphNode &node = graph_->nodes[idx];
-        Stream &st = devs.stream(node.streamId);
+        // The recorded id is folded onto the replaying thread's lease
+        // (same device, slot modulo the lease width): a plan captured
+        // by one serving submitter replays on another's streams.
+        Stream &st = lease.remap(node.streamId);
         st.device().launchReplayed(
             (node.hi - node.lo) * bytesReadPerLimb,
             (node.hi - node.lo) * bytesWrittenPerLimb,
@@ -489,7 +603,7 @@ GraphReplay::customNode(u64 bytesRead, u64 bytesWritten, u64 intOps)
     FIDES_ASSERT(nodeCursor_ < graph_->nodes.size());
     const GraphNode &node = graph_->nodes[nodeCursor_];
     DeviceSet &devs = ctx_->devices();
-    Stream &st = devs.stream(node.streamId);
+    Stream &st = ctx_->streamLease().remap(node.streamId);
     st.device().launchReplayed(bytesRead, bytesWritten, intOps);
     if (devs.numStreams() == 1) {
         ++nodeCursor_;
@@ -533,12 +647,15 @@ PlanScope::PlanScope(const Context &ctx, PlanOp op, u32 level,
         return;
     ctx_ = &ctx;
     key_ = PlanKey{op, level + 1, ctx.numDigits(level), aux};
-    if (const KernelGraph *g = ctx.plans().find(key_)) {
+    // May block: a concurrent submitter capturing the SAME key holds
+    // the capture until it publishes (we then replay) or abandons.
+    PlanCache::Lease lease = ctx.plans().acquire(key_);
+    if (lease.role == PlanCache::Role::Replay) {
         ctx.devices().notePlanReplay();
         // cudaGraphLaunch economics: one dispatch overhead for the
         // whole replayed graph instead of one per kernel launch.
         spinNs(ctx.devices().device(0).launchOverheadNs());
-        replay_ = std::make_unique<GraphReplay>(ctx, *g);
+        replay_ = std::make_unique<GraphReplay>(ctx, *lease.graph);
         ctx.setReplaySession(replay_.get());
     } else {
         ctx.devices().notePlanCapture();
@@ -558,18 +675,24 @@ PlanScope::~PlanScope()
         // are dead on the unwind path anyway).
         if (std::uncaught_exceptions() == 0)
             replay_->finish();
+        ctx_->plans().release();
         return;
     }
     ctx_->setCaptureSession(nullptr);
     std::unique_ptr<KernelGraph> graph = capture_->finish();
-    if (!graph || std::uncaught_exceptions() > 0)
+    if (!graph || std::uncaught_exceptions() > 0) {
+        // Same-key waiters re-race; one of them captures next.
+        ctx_->plans().abandon(key_);
         return;
+    }
     // Reserve the plan's scratch footprint in the device pools so no
-    // replay allocation ever reaches the host allocator.
-    DeviceSet &devs = ctx_->devices();
-    for (u32 d = 0; d < devs.numDevices(); ++d)
-        devs.device(d).pool().reserve(graph->scratch[d]);
-    ctx_->plans().store(key_, std::move(graph));
+    // replay allocation ever reaches the host allocator -- scaled by
+    // the arena multiplier so the configured number of concurrent
+    // replays all hit the pool (the serving layer's partitioned
+    // arenas: submitters never compete for the same reserved blocks).
+    reserveScaledScratch(ctx_->devices(), graph->scratch,
+                         ctx_->planArenaMultiplier());
+    ctx_->plans().publish(key_, std::move(graph));
 }
 
 } // namespace fideslib::ckks::kernels

@@ -27,20 +27,31 @@
  * a schedule. Capture and replay therefore submit bit-identical work
  * in an identical order; only the host-side dispatch cost differs.
  *
- * Sessions live on the Context and are strictly host-thread state
- * (the single-submitting-thread invariant of DESIGN.md §3). Nested
- * scopes are inert: an op captured inside another op's scope simply
- * contributes its kernels to the outer graph. The `FIDES_NO_GRAPH`
- * environment variable (or Context::setGraphEnabled(false)) disables
- * the whole layer; plans are invalidated whenever an execution knob
- * that shapes the schedule changes (limb batch, fusion, NTT schedule,
- * modular-reduction strategy).
+ * Sessions are thread-local Context state: every serving submitter
+ * captures or replays independently over the shared plan cache, which
+ * is mutex-guarded with SINGLE-FLIGHT capture -- the first submitter
+ * to miss a key captures it while concurrent submitters for the same
+ * key block until the plan is published (then replay it); distinct
+ * keys capture in parallel (per-thread pool allocation traces keep
+ * their footprints separate). Replays fold the recorded stream ids
+ * onto the replaying thread's StreamLease, so one plan serves every
+ * submitter regardless of which stream subset it leases
+ * (DESIGN.md §1.8). Nested scopes are inert: an op captured inside
+ * another op's scope simply contributes its kernels to the outer
+ * graph. The `FIDES_NO_GRAPH` environment variable (or
+ * Context::setGraphEnabled(false)) disables the whole layer; plans
+ * are invalidated whenever an execution knob that shapes the schedule
+ * changes (limb batch, fusion, NTT schedule, modular-reduction
+ * strategy).
  */
 
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ckks/kernels.hpp"
@@ -87,18 +98,83 @@ struct PlanKey
     }
 };
 
-/** Per-Context store of captured plans. */
+/** Per-key observability record (Context::planStats). */
+struct PlanKeyStats
+{
+    PlanKey key;
+    u64 hits = 0;   //!< replays served from the cached plan
+    u64 misses = 0; //!< capture attempts (first call + re-captures)
+};
+
+/** Cache-wide observability snapshot (Context::planStats). */
+struct PlanCacheStats
+{
+    std::vector<PlanKeyStats> keys;
+    u64 hits = 0;          //!< summed over keys
+    u64 misses = 0;        //!< summed over keys
+    u64 reservedBytes = 0; //!< pinned arena footprint, all pools
+};
+
+/**
+ * Per-Context store of captured plans. Thread-safe with single-flight
+ * capture: acquire() hands the first caller of a missing key the
+ * Capture role and blocks concurrent callers of the SAME key until
+ * the capture is published (they then replay) or abandoned (one of
+ * them becomes the next capturer); distinct keys proceed in parallel.
+ */
 class PlanCache
 {
   public:
-    /** The cached plan for @p key, or null on a miss. */
-    const KernelGraph *find(const PlanKey &key) const;
-    void store(const PlanKey &key, std::unique_ptr<KernelGraph> graph);
-    void clear() { plans_.clear(); }
-    std::size_t size() const { return plans_.size(); }
+    enum class Role { Replay, Capture };
+    struct Lease
+    {
+        Role role;
+        const KernelGraph *graph; //!< non-null iff role == Replay
+    };
+
+    /**
+     * Resolves @p key to a role, blocking while another thread holds
+     * the same key's capture. Every acquire must be matched by
+     * exactly one release() (Replay role) or publish()/abandon()
+     * (Capture role).
+     */
+    Lease acquire(const PlanKey &key);
+    /** Stores a freshly captured plan and wakes same-key waiters. */
+    void publish(const PlanKey &key, std::unique_ptr<KernelGraph> graph);
+    /** Gives up a capture (invalidated or unwound); same-key waiters
+     *  re-race, one of them capturing next. */
+    void abandon(const PlanKey &key);
+    /** Ends a Replay lease (the graph pointer must not outlive it). */
+    void release();
+
+    /** Drops every stored plan. Must not be called while any lease is
+     *  outstanding -- a plan must never die under a replay. */
+    void clear();
+    std::size_t size() const;
+    PlanCacheStats stats() const;
+
+    /**
+     * Tops up the device pools' arena reservations so every ALREADY
+     * stored plan has @p multiplier x its scratch footprint pinned
+     * (reserve() takes per-class maxima, so this only grows pins).
+     * Called when a Server raises the arena multiplier after plans
+     * were captured at a smaller one (warmup, sequential runs).
+     */
+    void reserveScratch(DeviceSet &devs, u32 multiplier) const;
 
   private:
-    std::map<PlanKey, std::unique_ptr<KernelGraph>> plans_;
+    struct Entry
+    {
+        std::unique_ptr<KernelGraph> graph;
+        bool capturing = false;
+        u64 hits = 0;
+        u64 misses = 0;
+    };
+
+    mutable std::mutex m_;
+    std::condition_variable published_;
+    std::map<PlanKey, Entry> plans_;
+    std::atomic<u32> activeLeases_{0};
 };
 
 /**
@@ -233,11 +309,14 @@ class GraphReplay
 /**
  * RAII plan-cache routing for one hot op: the constructor either
  * activates a replay session (cache hit -- pays the single
- * whole-graph launch overhead), activates a capture session (miss),
- * or does nothing (graphs disabled, or a session is already active:
- * nested ops contribute to the enclosing graph). The destructor
- * closes the session, storing a freshly captured plan and reserving
- * its scratch footprint in the device pools.
+ * whole-graph launch overhead), activates a capture session (miss;
+ * may block until a concurrent same-key capture resolves), or does
+ * nothing (graphs disabled, or a session is already active on this
+ * thread: nested ops contribute to the enclosing graph). The
+ * destructor closes the session, storing a freshly captured plan and
+ * reserving its scratch footprint -- scaled by the context's
+ * plan-arena multiplier so N concurrent replays are all served from
+ * pool hits -- in the device pools.
  */
 class PlanScope
 {

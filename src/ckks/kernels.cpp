@@ -215,6 +215,11 @@ forBatches(const Context &ctx, std::size_t numLimbs,
             recorded->push_back(std::move(ev));
     };
 
+    // Stream picks go through the calling thread's lease (the whole
+    // set outside serving): a request's kernels stay on its
+    // submitter's streams, so concurrent requests never interleave on
+    // one stream.
+    const StreamLease &leased = ctx.streamLease();
     if (primeAt && devs.numDevices() > 1) {
         // Ownership-aware dispatch: split each batch at device
         // boundaries (rare, since placement is contiguous blocks of
@@ -230,17 +235,17 @@ forBatches(const Context &ctx, std::size_t numLimbs,
                 std::size_t end = sub + 1;
                 while (end < hi && ctx.deviceFor(primeAt(end)).id() == d)
                     ++end;
-                launchOn(devs.streamOfDevice(d, rr[d]++), sub, end);
+                launchOn(leased.streamOfDevice(d, rr[d]++), sub, end);
                 sub = end;
             }
         }
     } else {
-        // Shape-free fallback: round-robin over all streams.
+        // Shape-free fallback: round-robin over the leased streams.
         u32 next = 0;
         for (std::size_t lo = 0; lo < numLimbs; lo += batch) {
             const std::size_t hi = std::min(numLimbs, lo + batch);
-            Stream &st = devs.stream(next);
-            next = (next + 1) % numStreams;
+            Stream &st = leased.stream(next);
+            next = (next + 1) % leased.numStreams();
             launchOn(st, lo, hi);
         }
     }

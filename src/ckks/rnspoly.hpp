@@ -18,9 +18,14 @@
  * last readers still in flight. kernels::forBatches consults these to
  * chain kernels stream-side without host barriers; RNSPoly::syncHost
  * is the explicit join used at genuine host reads (decode,
- * serialization, adapters). All event bookkeeping happens on the
- * single submitting (host) thread -- worker threads only ever touch
- * Event completion state -- so the tracking needs no locks.
+ * serialization, adapters). Event bookkeeping is guarded by a
+ * per-limb spinlock: the serving layer runs MANY submitter threads
+ * over one Context, and while each request touches its own
+ * ciphertexts, shared read-only operands (key material, plaintext
+ * diagonals) collect reader events from every submitter
+ * concurrently. The critical sections are a handful of shared_ptr
+ * copies, so the lock is nanoseconds and uncontended in
+ * single-submitter runs (DESIGN.md 1.8).
  *
  * Lifetime: the partition is held by shared_ptr. Kernel bodies
  * capture the partition (never the stack RNSPoly) plus a keep-alive
@@ -57,8 +62,30 @@ class Limb
           primeIdx_(primeIdx)
     {}
 
-    Limb(Limb &&) = default;
-    Limb &operator=(Limb &&) = default;
+    // Moves transfer the data and tracking but not the lock (locks
+    // are not movable); a partition being (re)built is not yet shared
+    // with another thread, so the unguarded transfer is safe.
+    Limb(Limb &&o) noexcept
+        : dev_(o.dev_), data_(std::move(o.data_)),
+          primeIdx_(o.primeIdx_), write_(std::move(o.write_)),
+          reads_(std::move(o.reads_))
+    {
+        o.dev_ = nullptr;
+    }
+
+    Limb &
+    operator=(Limb &&o) noexcept
+    {
+        if (this != &o) {
+            dev_ = o.dev_;
+            data_ = std::move(o.data_);
+            primeIdx_ = o.primeIdx_;
+            write_ = std::move(o.write_);
+            reads_ = std::move(o.reads_);
+            o.dev_ = nullptr;
+        }
+        return *this;
+    }
 
     ~Limb()
     {
@@ -82,13 +109,14 @@ class Limb
     u32 primeIdx() const { return primeIdx_; }
     Device &device() const { return *dev_; }
 
-    // Completion tracking (host thread only). -------------------------
+    // Completion tracking (any submitter thread). ---------------------
     /** The event of the kernel that last wrote this limb supersedes
      *  both the previous write and all outstanding reads (they are
      *  ordered before it stream-side by forBatches). */
     void
     noteWrite(const Event &e) const
     {
+        std::lock_guard<SpinLock> g(lock_);
         write_ = e;
         reads_.clear();
     }
@@ -99,6 +127,7 @@ class Limb
     void
     noteRead(const Event &e) const
     {
+        std::lock_guard<SpinLock> g(lock_);
         for (Event &r : reads_) {
             if (r.streamId() == e.streamId()) {
                 r = e;
@@ -108,12 +137,28 @@ class Limb
         reads_.push_back(e);
     }
 
-    const Event &lastWrite() const { return write_; }
-    const std::vector<Event> &lastReads() const { return reads_; }
+    /** Snapshot of the last-writer event (by value: the tracked state
+     *  may be updated by another submitter while the caller holds the
+     *  copy -- a stale event is merely a conservative extra wait). */
+    Event
+    lastWrite() const
+    {
+        std::lock_guard<SpinLock> g(lock_);
+        return write_;
+    }
+
+    /** Snapshot of the in-flight reader events. */
+    std::vector<Event>
+    lastReads() const
+    {
+        std::lock_guard<SpinLock> g(lock_);
+        return reads_;
+    }
 
     bool
     hasPending() const
     {
+        std::lock_guard<SpinLock> g(lock_);
         if (!write_.ready())
             return true;
         for (const Event &r : reads_)
@@ -125,6 +170,7 @@ class Limb
     void
     collectPending(std::vector<Event> &out) const
     {
+        std::lock_guard<SpinLock> g(lock_);
         if (!write_.ready())
             out.push_back(write_);
         for (const Event &r : reads_)
@@ -133,21 +179,39 @@ class Limb
     }
 
     /** Host-blocks until every pending kernel on this limb retired,
-     *  then clears the tracking. */
+     *  then clears the settled tracking. Never blocks while holding
+     *  the spinlock: pending events are snapshotted, synchronized
+     *  outside the lock, and re-checked (another thread may have
+     *  noted new readers of a shared limb meanwhile). */
     void
     syncHost() const
     {
-        write_.synchronize();
-        for (const Event &r : reads_)
-            r.synchronize();
-        write_ = Event();
-        reads_.clear();
+        std::vector<Event> pending;
+        for (;;) {
+            {
+                std::lock_guard<SpinLock> g(lock_);
+                pending.clear();
+                if (!write_.ready())
+                    pending.push_back(write_);
+                for (const Event &r : reads_)
+                    if (!r.ready())
+                        pending.push_back(r);
+                if (pending.empty()) {
+                    write_ = Event();
+                    reads_.clear();
+                    return;
+                }
+            }
+            for (const Event &e : pending)
+                e.synchronize();
+        }
     }
 
   private:
     Device *dev_;
     DeviceVector<u64> data_;
     u32 primeIdx_;
+    mutable SpinLock lock_;
     mutable Event write_;
     mutable std::vector<Event> reads_;
 };

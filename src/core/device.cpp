@@ -33,6 +33,21 @@ platformTable()
 
 // --- MemPool ---------------------------------------------------------------
 
+namespace
+{
+
+/**
+ * Per-thread allocation traces, keyed by pool. Plan capture traces
+ * every device pool for the duration of one op on ONE thread;
+ * thread-locality keeps concurrent captures of distinct keys (and
+ * unrelated allocations by other submitters) out of each other's
+ * histograms without taking the pool mutex on the trace path.
+ */
+thread_local std::map<const MemPool *, std::map<std::size_t, u32>>
+    tAllocTraces;
+
+} // namespace
+
 MemPool::~MemPool()
 {
     // The destructor is the only host-blocking reclamation point:
@@ -56,12 +71,15 @@ MemPool::~MemPool()
 void *
 MemPool::allocate(std::size_t bytes)
 {
+    if (!tAllocTraces.empty()) {
+        auto it = tAllocTraces.find(this);
+        if (it != tAllocTraces.end())
+            ++it->second[bytes];
+    }
     std::lock_guard<std::mutex> lock(m_);
     if (!deferred_.empty())
         sweepDeferredLocked();
     ++allocCalls_;
-    if (tracing_)
-        ++trace_[bytes];
     bytesInUse_ += bytes;
     bytesPeak_ = std::max(bytesPeak_, bytesInUse_);
     auto it = freeLists_.find(bytes);
@@ -236,17 +254,17 @@ MemPool::cacheBound() const
 void
 MemPool::beginAllocTrace()
 {
-    std::lock_guard<std::mutex> lock(m_);
-    tracing_ = true;
-    trace_.clear();
+    tAllocTraces[this].clear();
 }
 
 std::map<std::size_t, u32>
 MemPool::endAllocTrace()
 {
-    std::lock_guard<std::mutex> lock(m_);
-    tracing_ = false;
-    return std::move(trace_);
+    auto it = tAllocTraces.find(this);
+    FIDES_ASSERT(it != tAllocTraces.end());
+    std::map<std::size_t, u32> trace = std::move(it->second);
+    tAllocTraces.erase(it);
+    return trace;
 }
 
 void
@@ -264,6 +282,38 @@ MemPool::reserve(const std::map<std::size_t, u32> &histogram)
         u32 &pinned = reserved_[bytes];
         pinned = std::max(pinned, count);
     }
+}
+
+void
+MemPool::unreserve()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    // Free exactly the blocks the pins were holding parked (fewer if
+    // some are allocated out right now -- those return through the
+    // normal cache-bound release path once their owners die). The
+    // unpinned remainder of the cache is left alone.
+    for (const auto &[bytes, count] : reserved_) {
+        auto it = freeLists_.find(bytes);
+        if (it == freeLists_.end())
+            continue;
+        auto &list = it->second;
+        for (u32 i = 0; i < count && !list.empty(); ++i) {
+            std::free(list.back());
+            list.pop_back();
+            bytesCached_ -= bytes;
+        }
+    }
+    reserved_.clear();
+}
+
+u64
+MemPool::bytesReserved() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    u64 total = 0;
+    for (const auto &[bytes, count] : reserved_)
+        total += bytes * count;
+    return total;
 }
 
 // --- Device ----------------------------------------------------------------

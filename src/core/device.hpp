@@ -76,6 +76,29 @@ namespace fideslib
 {
 
 /**
+ * Tiny test-and-set spinlock for critical sections of a few loads and
+ * stores (per-limb completion tracking). Cheaper than a std::mutex
+ * when contention is rare and the hold time is nanoseconds; TSan
+ * understands the acquire/release pairing. BasicLockable: hold with
+ * std::lock_guard<SpinLock>.
+ */
+class SpinLock
+{
+  public:
+    void
+    lock()
+    {
+        while (flag_.test_and_set(std::memory_order_acquire)) {
+            // spin: holders only copy a handful of events
+        }
+    }
+    void unlock() { flag_.clear(std::memory_order_release); }
+
+  private:
+    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/**
  * A stream-ordered completion marker, the stand-in for cudaEvent_t.
  *
  * An Event is recorded on a stream (Stream::record) and signals once
@@ -337,10 +360,15 @@ class MemPool
     void trim();
 
     // Graph capture support. ------------------------------------------
-    /** Starts recording the size-class histogram of allocate() calls
-     *  (one active trace at a time; used by plan capture). */
+    /**
+     * Starts recording the size-class histogram of allocate() calls
+     * made by the CALLING THREAD (used by plan capture). Traces are
+     * thread-local so concurrent captures of distinct plan keys --
+     * and allocations by other submitter threads replaying unrelated
+     * plans -- never pollute each other's footprint.
+     */
     void beginAllocTrace();
-    /** Stops recording and returns the histogram. */
+    /** Stops the calling thread's recording and returns the histogram. */
     std::map<std::size_t, u32> endAllocTrace();
     /**
      * Pre-populates the free lists so that at least @p histogram
@@ -359,6 +387,18 @@ class MemPool
      * trim() drops the pins and frees everything.
      */
     void reserve(const std::map<std::size_t, u32> &histogram);
+
+    /**
+     * Releases every plan-arena pin and frees the pinned cached
+     * blocks (up to the pinned count per size class; blocks currently
+     * allocated out return through the normal cache-bound path).
+     * Called by plan invalidation: a cleared plan cache must not keep
+     * its reserved arenas parked on the free lists forever.
+     */
+    void unreserve();
+
+    /** Bytes pinned by plan-arena reservations (sum over classes). */
+    u64 bytesReserved() const;
 
     /**
      * Reclaims deferred frees whose events have all signalled. Called
@@ -384,8 +424,6 @@ class MemPool
     mutable std::mutex m_;
     std::map<std::size_t, std::vector<void *>> freeLists_;
     std::vector<DeferredFree> deferred_;
-    bool tracing_ = false;
-    std::map<std::size_t, u32> trace_;
     //! Per-size-class floor eviction must not sink below (plan
     //! arenas); cleared by an explicit trim().
     std::map<std::size_t, u32> reserved_;
@@ -590,6 +628,95 @@ class DeviceSet
     std::atomic<u64> planCaptures_{0};
     std::atomic<u64> planReplays_{0};
 };
+
+/**
+ * A per-submitter view over a DeviceSet: a contiguous range of stream
+ * slots on EVERY device (each device keeps participating -- limb
+ * placement is data-determined -- but a request's kernels only ever
+ * land on its leased slots). The serving layer hands each submitter
+ * thread a disjoint lease, so two concurrent requests never interleave
+ * on the same stream: within a lease the single-submitter invariants
+ * of the dispatch layer hold unchanged, and cross-request ordering
+ * needs no events at all because requests share no mutable operands
+ * (key material is read-only).
+ *
+ * Captured plans record the global ids of whatever lease streams the
+ * capturing thread held; `remap()` folds a recorded id onto the
+ * replaying thread's lease (same device, slot modulo the lease width),
+ * so one plan serves every lease geometry. For the full-set lease the
+ * remap is the identity, preserving the single-submitter schedule
+ * bit-for-bit.
+ */
+class StreamLease
+{
+  public:
+    StreamLease(DeviceSet &devs, u32 firstSlot, u32 numSlots)
+        : devs_(&devs), first_(firstSlot), slots_(numSlots)
+    {
+        FIDES_ASSERT(numSlots >= 1);
+        FIDES_ASSERT(firstSlot + numSlots <= devs.streamsPerDevice());
+    }
+
+    /** The whole-set lease: every slot of every device. */
+    explicit StreamLease(DeviceSet &devs)
+        : StreamLease(devs, 0, devs.streamsPerDevice())
+    {}
+
+    DeviceSet &devices() const { return *devs_; }
+    u32 slotsPerDevice() const { return slots_; }
+    u32 numStreams() const { return slots_ * devs_->numDevices(); }
+
+    /** The k-th (mod lease width) leased stream of device @p d. */
+    Stream &
+    streamOfDevice(u32 d, u32 k) const
+    {
+        return devs_->streamOfDevice(d, first_ + (k % slots_));
+    }
+
+    /** The i-th leased stream, interleaved across devices exactly
+     *  like DeviceSet's global numbering (shape-free round-robin). */
+    Stream &
+    stream(u32 i) const
+    {
+        const u32 nd = devs_->numDevices();
+        return streamOfDevice(i % nd, (i / nd) % slots_);
+    }
+
+    /** Folds a plan-recorded global stream id onto this lease: same
+     *  device, recorded slot modulo the lease width. Identity when
+     *  the lease covers the whole set. */
+    Stream &
+    remap(u32 recordedStreamId) const
+    {
+        const u32 nd = devs_->numDevices();
+        return streamOfDevice(recordedStreamId % nd,
+                              recordedStreamId / nd);
+    }
+
+  private:
+    DeviceSet *devs_;
+    u32 first_;
+    u32 slots_;
+};
+
+/**
+ * Partitions @p totalWorkers submitters over a set's stream slots:
+ * worker @p worker gets a contiguous slot group, groups as equal as
+ * possible; with more workers than slots the groups wrap (two
+ * submitters then share streams, which stays correct -- stream queues
+ * are mutex-guarded and cross-request hazards do not exist -- but
+ * loses the isolation, so servers should prefer submitters <= slots).
+ */
+inline StreamLease
+leaseForWorker(DeviceSet &devs, u32 worker, u32 totalWorkers)
+{
+    const u32 slots = devs.streamsPerDevice();
+    const u32 groups = totalWorkers < slots ? totalWorkers : slots;
+    const u32 g = worker % groups;
+    const u32 first = g * slots / groups;
+    const u32 last = (g + 1) * slots / groups;
+    return StreamLease(devs, first, last - first);
+}
 
 /**
  * RAII device buffer, the stand-in for the paper's VectorGPU.

@@ -1,0 +1,240 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "ckks/graph.hpp"
+#include "core/logging.hpp"
+
+namespace fideslib::serve
+{
+
+using Clock = std::chrono::steady_clock;
+
+// --- program execution ------------------------------------------------
+
+ckks::Ciphertext
+executeProgram(const ckks::Evaluator &eval, Request req)
+{
+    std::vector<ckks::Ciphertext> regs = std::move(req.inputs());
+    regs.reserve(req.numRegisters());
+    for (const Op &op : req.ops()) {
+        switch (op.kind) {
+        case Op::Kind::Add:
+            regs.push_back(eval.add(regs[op.a], regs[op.b]));
+            break;
+        case Op::Kind::Sub:
+            regs.push_back(eval.sub(regs[op.a], regs[op.b]));
+            break;
+        case Op::Kind::Multiply:
+            regs.push_back(eval.multiply(regs[op.a], regs[op.b]));
+            break;
+        case Op::Kind::Square:
+            regs.push_back(eval.square(regs[op.a]));
+            break;
+        case Op::Kind::Rotate:
+            regs.push_back(eval.rotate(regs[op.a], op.rot));
+            break;
+        case Op::Kind::Rescale:
+            eval.rescaleInPlace(regs[op.a]);
+            break;
+        case Op::Kind::MultiplyScalar:
+            eval.multiplyScalarInPlace(regs[op.a], op.scalar);
+            break;
+        }
+        FIDES_ASSERT(regs.size() <= req.numRegisters());
+    }
+    FIDES_ASSERT(regs.size() == req.numRegisters());
+    return std::move(regs[req.outputRegister()]);
+}
+
+// --- Handle -----------------------------------------------------------
+
+struct Handle::State
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::optional<ckks::Ciphertext> result;
+    std::exception_ptr error;
+    Clock::time_point submitted;
+    Clock::time_point completed;
+};
+
+bool
+Handle::ready() const
+{
+    FIDES_ASSERT(st_ != nullptr);
+    std::lock_guard<std::mutex> lock(st_->m);
+    return st_->done;
+}
+
+ckks::Ciphertext
+Handle::get()
+{
+    FIDES_ASSERT(st_ != nullptr);
+    std::unique_lock<std::mutex> lock(st_->m);
+    st_->cv.wait(lock, [this] { return st_->done; });
+    if (st_->error)
+        std::rethrow_exception(st_->error);
+    FIDES_ASSERT(st_->result.has_value());
+    ckks::Ciphertext out = std::move(*st_->result);
+    st_->result.reset();
+    return out;
+}
+
+double
+Handle::latencyMs() const
+{
+    FIDES_ASSERT(st_ != nullptr);
+    std::lock_guard<std::mutex> lock(st_->m);
+    FIDES_ASSERT(st_->done);
+    return std::chrono::duration<double, std::milli>(st_->completed -
+                                                     st_->submitted)
+        .count();
+}
+
+// --- Server -----------------------------------------------------------
+
+struct Server::Job
+{
+    Request req;
+    std::shared_ptr<Handle::State> state;
+};
+
+Server::Server(const ckks::Context &ctx, const ckks::KeyBundle &keys,
+               Options opt)
+    : ctx_(&ctx), keys_(&keys), capacity_(opt.queueCapacity)
+{
+    numWorkers_ = opt.submitters ? opt.submitters : 1;
+    // Partitioned arenas: every plan stored from now on reserves
+    // enough scratch for all submitters to replay it at once -- and
+    // plans captured BEFORE this server existed (warmup, sequential
+    // reference runs) get their reservations topped up to the same
+    // multiple, so no concurrent replay ever falls off the reserved
+    // pool onto the host allocator.
+    if (ctx.planArenaMultiplier() < numWorkers_) {
+        ctx.setPlanArenaMultiplier(numWorkers_);
+        ctx.plans().reserveScratch(ctx.devices(), numWorkers_);
+    }
+    workers_.reserve(numWorkers_);
+    for (u32 i = 0; i < numWorkers_; ++i)
+        workers_.emplace_back(&Server::workerLoop, this, i);
+}
+
+Server::~Server()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    space_.notify_all(); // unblock submitters stuck on backpressure
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+Handle
+Server::submit(Request req)
+{
+    auto state = std::make_shared<Handle::State>();
+    state->submitted = Clock::now();
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        FIDES_ASSERT(!stop_);
+        if (capacity_ > 0)
+            space_.wait(lock, [this] {
+                return stop_ || queue_.size() < capacity_;
+            });
+        // Re-checked after the backpressure wait: the server must not
+        // accept a job its (exiting) workers would strand.
+        FIDES_ASSERT(!stop_);
+        queue_.push_back(Job{std::move(req), state});
+        ++stats_.accepted;
+    }
+    wake_.notify_one();
+    return Handle(std::move(state));
+}
+
+void
+Server::drain()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    drained_.wait(lock,
+                  [this] { return queue_.empty() && busy_ == 0; });
+}
+
+Server::Stats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return stats_;
+}
+
+void
+Server::workerLoop(u32 index)
+{
+    // Per-submitter execution state: a disjoint stream lease (thread-
+    // locally installed so every kernel this thread dispatches lands
+    // on it) and a private Evaluator over the shared Context/keys.
+    StreamLease lease =
+        leaseForWorker(ctx_->devices(), index, numWorkers_);
+    ctx_->setThreadLease(&lease);
+    ckks::Evaluator eval(*ctx_, *keys_);
+
+    std::unique_lock<std::mutex> lock(m_);
+    for (;;) {
+        wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stop_)
+                break;
+            continue;
+        }
+        Job job = std::move(queue_.front());
+        queue_.pop_front();
+        ++busy_;
+        lock.unlock();
+        if (capacity_ > 0)
+            space_.notify_one();
+
+        std::exception_ptr error;
+        std::optional<ckks::Ciphertext> result;
+        try {
+            result = executeProgram(eval, std::move(job.req));
+            // The request's one host join: the handle yields a
+            // settled ciphertext (ready for serialization/decryption
+            // without further waits).
+            result->syncHost();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        // Stats first, then the handle, then the idle transition: a
+        // client returning from Handle::get() must observe its request
+        // counted, and drain() must not return before the handle of
+        // every accepted request is fulfilled.
+        {
+            std::lock_guard<std::mutex> slock(m_);
+            if (error)
+                ++stats_.failed;
+            else
+                ++stats_.completed;
+        }
+        {
+            std::lock_guard<std::mutex> slock(job.state->m);
+            job.state->result = std::move(result);
+            job.state->error = error;
+            job.state->completed = Clock::now();
+            job.state->done = true;
+        }
+        job.state->cv.notify_all();
+
+        lock.lock();
+        --busy_;
+        if (queue_.empty() && busy_ == 0)
+            drained_.notify_all();
+    }
+    lock.unlock();
+    ctx_->setThreadLease(nullptr);
+}
+
+} // namespace fideslib::serve

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The batched serving front door (DESIGN.md §1.8): a thread-safe
+ * Server that owns nothing but views -- a shared Context and
+ * KeyBundle -- and schedules N independent client requests across the
+ * DeviceSet through a pool of submitter threads.
+ *
+ * Each submitter holds a disjoint StreamLease (a contiguous slot
+ * range on every device) and its own Evaluator, so the
+ * single-submitter invariants of the dispatch layer hold per lease
+ * while requests from different submitters interleave on the devices.
+ * Replayed execution plans are shared through the Context's
+ * single-flight PlanCache: the first request of a shape captures, the
+ * rest replay with recorded streams folded onto their own lease --
+ * per-request host dispatch is the ~one-graph-launch cost the plan
+ * cache was built to deliver, now amortized over many concurrent
+ * ciphertexts ("heavy traffic" in the paper's MLaaS setting).
+ *
+ * Synchronization points that remain per-request: the submitter
+ * executes its program's ops in order (chained stream-side through
+ * the per-request exit events, never joining the host) and performs
+ * ONE host join on the result ciphertext before fulfilling the
+ * handle, so Handle::get() returns a settled result. Requests share
+ * no mutable device state -- key material is read-only, ciphertext
+ * registers are request-private -- so no cross-request events exist.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "ckks/evaluator.hpp"
+#include "serve/request.hpp"
+
+namespace fideslib::serve
+{
+
+/**
+ * Runs @p req's program against @p eval on the calling thread and
+ * returns the output register. The server workers use this; tests use
+ * it directly for sequential reference runs.
+ */
+ckks::Ciphertext executeProgram(const ckks::Evaluator &eval,
+                                Request req);
+
+/**
+ * Completion handle for one submitted request. Cheap to copy; get()
+ * blocks until the request retires and moves the settled result out
+ * (one-shot). Completion timestamps are kept for latency
+ * observability (bench_serve's p50/p99).
+ */
+class Handle
+{
+  public:
+    Handle() = default;
+
+    bool valid() const { return st_ != nullptr; }
+    /** Non-blocking completion poll. */
+    bool ready() const;
+
+    /**
+     * Blocks until the request completed, then returns the result.
+     * The ciphertext is settled (no pending device work). Rethrows
+     * the worker's exception if the program failed. One-shot.
+     */
+    ckks::Ciphertext get();
+
+    /** Submit-to-completion latency; valid once ready(). */
+    double latencyMs() const;
+
+  private:
+    friend class Server;
+    struct State;
+    explicit Handle(std::shared_ptr<State> st) : st_(std::move(st)) {}
+
+    std::shared_ptr<State> st_;
+};
+
+/** The serving front door. */
+class Server
+{
+  public:
+    struct Options
+    {
+        /** Submitter threads. Prefer <= streamsPerDevice so leases
+         *  stay disjoint; more still works (leases wrap). */
+        u32 submitters = 1;
+        /** Bounded queue: submit() blocks when this many requests are
+         *  waiting (backpressure). 0 = unbounded. */
+        std::size_t queueCapacity = 0;
+    };
+
+    struct Stats
+    {
+        u64 accepted = 0;  //!< requests submitted
+        u64 completed = 0; //!< requests fulfilled
+        u64 failed = 0;    //!< requests that threw
+    };
+
+    Server(const ckks::Context &ctx, const ckks::KeyBundle &keys,
+           Options opt);
+    /** Single submitter, unbounded queue. */
+    Server(const ckks::Context &ctx, const ckks::KeyBundle &keys)
+        : Server(ctx, keys, Options{})
+    {}
+    /** Drains the queue, then joins the submitters. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Enqueues @p req and returns its completion handle. Thread-safe;
+     * blocks only when the bounded queue is full.
+     */
+    Handle submit(Request req);
+
+    /** Blocks until every accepted request has been fulfilled. */
+    void drain();
+
+    Stats stats() const;
+    u32 submitters() const { return numWorkers_; }
+    const ckks::Context &context() const { return *ctx_; }
+
+  private:
+    struct Job;
+
+    void workerLoop(u32 index);
+
+    const ckks::Context *ctx_;
+    const ckks::KeyBundle *keys_;
+    std::size_t capacity_;
+    u32 numWorkers_ = 0; //!< fixed before any thread starts
+
+    mutable std::mutex m_;
+    std::condition_variable wake_;    //!< queue became non-empty / stop
+    std::condition_variable space_;   //!< bounded queue has room
+    std::condition_variable drained_; //!< queue empty and workers idle
+    std::deque<Job> queue_;
+    std::size_t busy_ = 0; //!< workers currently executing a request
+    bool stop_ = false;
+    Stats stats_;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace fideslib::serve

@@ -23,7 +23,20 @@ are reported but never fail the gate. Timing counters such as
 host_dispatch_us are emitted for the per-commit trajectory but not
 gated -- CI machines are too noisy for wall-clock thresholds.
 
-Usage: check_launch_regression.py BASELINE.json FRESH.json
+With a third argument (BENCH_serve.json), the serving-throughput gate
+also runs: the highest-submitter-count row must sustain at least
+SERVE_SCALING x the ops/s of the single-submitter row, and every row
+must report plan_cache_hits >= 1 (serving must run in the replay
+steady state). The scaling gate compares rows WITHIN the fresh file
+(absolute throughput is hardware-dependent) and is skipped below
+MIN_SERVE_CORES cores: submitter scaling is wall-clock parallelism
+over the kernel compute a single request cannot fill (one request's
+plan pipelines ~2 concurrent launch lanes on the 2-device topology),
+so a machine needs cores comfortably above that for extra submitters
+to be physically able to add throughput. GitHub's standard runners
+have 4; the bench records its core count in each row.
+
+Usage: check_launch_regression.py BASELINE.json FRESH.json [SERVE.json]
 """
 
 import json
@@ -32,6 +45,8 @@ import sys
 GATED_COUNTERS = ("kernels_per_op", "kernel_launches", "syncs_per_op")
 MIN_ONE_COUNTERS = ("plan_cache_hits",)
 TOLERANCE = 1.05  # 5% headroom for iteration rounding
+SERVE_SCALING = 1.3  # multi-submitter ops/s vs 1 submitter
+MIN_SERVE_CORES = 4  # below this, extra submitters cannot add ops/s
 
 
 def load(path):
@@ -40,8 +55,43 @@ def load(path):
     return {row["name"]: row for row in rows}
 
 
+def check_serve(path, failures):
+    """Serving gate: replay steady state + submitter scaling."""
+    rows = sorted(load(path).values(), key=lambda r: r["submitters"])
+    if not rows:
+        sys.exit("FAIL: no benchmark rows in " + path)
+    for row in rows:
+        hits = row.get("plan_cache_hits", 0)
+        verdict = "OK  " if hits >= 1 else "FAIL"
+        print(f"{verdict} {row['name']} plan_cache_hits: {hits} "
+              "(floor 1)")
+        if verdict == "FAIL":
+            failures.append((row["name"], "plan_cache_hits", hits, 1))
+    base, peak = rows[0], rows[-1]
+    if peak["submitters"] <= base["submitters"]:
+        print("SKIP serve scaling: need rows for >= 2 submitter "
+              "counts")
+        return
+    # Require the field: silently defaulting to 1 would disable the
+    # scaling gate forever if a bench refactor dropped it.
+    cores = min(r["cores"] for r in rows)
+    ratio = peak["ops_per_sec"] / base["ops_per_sec"]
+    label = (f"serve scaling: {peak['submitters']} submitters at "
+             f"{ratio:.2f}x of {base['submitters']} "
+             f"(floor {SERVE_SCALING}x)")
+    if cores < MIN_SERVE_CORES:
+        print(f"SKIP {label} -- {cores} core(s) < {MIN_SERVE_CORES}, "
+              "wall-clock submitter scaling not expressible")
+        return
+    verdict = "OK  " if ratio >= SERVE_SCALING else "FAIL"
+    print(f"{verdict} {label}")
+    if verdict == "FAIL":
+        failures.append((peak["name"], "ops_per_sec scaling", ratio,
+                         SERVE_SCALING))
+
+
 def main():
-    if len(sys.argv) != 3:
+    if len(sys.argv) not in (3, 4):
         sys.exit(__doc__)
     baseline = load(sys.argv[1])
     fresh = load(sys.argv[2])
@@ -72,6 +122,9 @@ def main():
                   f"(baseline {want:.2f})")
             if verdict == "FAIL":
                 failures.append((name, counter, got, want))
+
+    if len(sys.argv) == 4:
+        check_serve(sys.argv[3], failures)
 
     if failures:
         sys.exit(f"FAIL: {len(failures)} launch-economy regression(s) "
