@@ -148,6 +148,20 @@ BM_HMultLimbBatch(benchmark::State &state)
     state.counters["plan_misses"] = static_cast<double>(ps.misses);
     state.counters["plan_arena_mb"] =
         static_cast<double>(ps.reservedBytes) / 1e6;
+    // The autotuned NTT schedule baked into the replayed plan
+    // (Context::nttStats): the widest-shape winners land in the
+    // trajectory next to ns_per_op, so a pick flip across commits is
+    // attributable. Values index NttVariant (0 = flat, 1 = hier,
+    // 2 = radix4, 3 = blocked, 4 = fusedlast).
+    const NttStats ns = b.ctx->nttStats();
+    state.counters["ntt_tuned"] = ns.tuned ? 1 : 0;
+    if (!ns.shapes.empty()) {
+        const NttShapeStats &top = ns.shapes.back();
+        state.counters["ntt_fwd_variant"] =
+            static_cast<double>(static_cast<u32>(top.choice.fwd));
+        state.counters["ntt_inv_variant"] =
+            static_cast<double>(static_cast<u32>(top.choice.inv));
+    }
     b.ctx->devices().setLaunchOverheadNs(0);
     b.ctx->setLimbBatch(benchParams().limbBatch);
     state.counters["limb_batch"] = batch;

@@ -1,21 +1,34 @@
 /**
  * @file
- * Figure 4 reproduction: (i)NTT time per limb as the limb working
- * set grows (16..128 limbs), FIDESlib schedule (hierarchical 2D +
- * limb batching) vs the Phantom-like schedule (flat radix-2, one
- * kernel for the whole set). The paper's claim: the optimized
- * schedule's per-limb time stays flat or improves as the working set
- * grows, showing better memory-bandwidth efficiency.
+ * Figure 4 reproduction plus the schedule-zoo report: (i)NTT time per
+ * limb as the limb working set grows (16..128 limbs) for EVERY
+ * schedule variant (flat radix-2, hierarchical 2D, radix-4,
+ * cache-blocked hierarchical, last-stage-fused), and the per-shape
+ * autotuner table the CKKS Context bakes into captured plans under
+ * NttSchedule::Auto. The paper's claim: the optimized schedule's
+ * per-limb time stays flat or improves as the working set grows,
+ * showing better memory-bandwidth efficiency -- the zoo generalizes
+ * that from one global pick to a per-(degree, limb-count) choice.
+ *
+ * Besides the console output, every run (over)writes the autotuner
+ * table (per shape: the winning variant per direction plus every
+ * candidate's ns/limb) to --json_out, defaulting to BENCH_ntt.json in
+ * the CWD; CI passes the repo-root path and uploads it as a
+ * per-commit artifact so schedule-pick flips stay attributable.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/device.hpp"
 #include "core/ntt.hpp"
+#include "core/ntt_tune.hpp"
 #include "core/primes.hpp"
 #include "core/rng.hpp"
 
@@ -26,42 +39,45 @@ using namespace fideslib;
 
 constexpr std::size_t kDegree = 1 << 14;
 
+std::string gJsonOut = "BENCH_ntt.json";
+
 struct LimbSet
 {
     std::vector<std::unique_ptr<NttTables>> tables;
     std::vector<std::vector<u64>> limbs;
 
-    explicit LimbSet(std::size_t count)
+    LimbSet(std::size_t degree, std::size_t count)
     {
-        auto primes = generatePrimes(49, 2 * kDegree, count);
+        auto primes = generatePrimes(49, 2 * degree, count);
         Prng prng(99);
         for (u64 p : primes) {
             Modulus m(p);
             tables.push_back(std::make_unique<NttTables>(
-                kDegree, m, findPrimitiveRoot(2 * kDegree, m)));
-            std::vector<u64> limb(kDegree);
+                degree, m, findPrimitiveRoot(2 * degree, m)));
+            std::vector<u64> limb(degree);
             sampleUniform(prng, p, limb);
             limbs.push_back(std::move(limb));
         }
     }
 };
 
-
 /**
  * Per-platform roofline model for one batch of limb NTTs: the
- * hierarchical schedule moves each element in two passes (four
- * accesses per element, paper Figure 3); the flat schedule spills one
- * pass per pair of stages.
+ * hierarchical schedules move each element in two passes (four
+ * accesses per element, paper Figure 3); a flat radix-2 schedule
+ * spills one pass per pair of stages, and radix-4 halves that.
  */
 void
-reportModel(benchmark::State &state, std::size_t limbs, bool hier)
+reportModel(benchmark::State &state, std::size_t limbs, NttVariant v)
 {
     const u64 logN = log2Floor(kDegree);
-    const u64 passes = hier ? 2 : std::max<u64>(2, logN / 2);
+    u64 passes = std::max<u64>(2, logN / 2);
+    if (v == NttVariant::Hierarchical || v == NttVariant::BlockedHier)
+        passes = 2;
+    else if (v == NttVariant::Radix4)
+        passes = std::max<u64>(2, logN / 4);
     KernelCounters c;
-    // One grid launch per global pass: the hierarchical schedule
-    // needs two (column pass, row pass); a flat radix-2 schedule
-    // launches one kernel per pair of stages.
+    // One grid launch per global pass.
     c.launches = passes;
     c.bytesRead = passes * limbs * kDegree * 8;
     c.bytesWritten = passes * limbs * kDegree * 8;
@@ -78,70 +94,173 @@ limbSet(std::size_t count)
     static std::map<std::size_t, std::unique_ptr<LimbSet>> cache;
     auto it = cache.find(count);
     if (it == cache.end())
-        it = cache.emplace(count, std::make_unique<LimbSet>(count))
+        it = cache
+                 .emplace(count,
+                          std::make_unique<LimbSet>(kDegree, count))
                  .first;
     return *it->second;
 }
 
+/** Figure 4 sweep for one zoo variant: range(0) = limb count. */
+template <NttVariant V>
 void
-BM_NttFideslib(benchmark::State &state)
+BM_NttVariantSweep(benchmark::State &state)
 {
     auto &set = limbSet(state.range(0));
     for (auto _ : state) {
         for (std::size_t i = 0; i < set.limbs.size(); ++i)
-            nttForwardHierarchical(set.limbs[i].data(), *set.tables[i]);
+            nttForwardVariant(set.limbs[i].data(), *set.tables[i], V);
         benchmark::DoNotOptimize(set.limbs[0].data());
     }
-    reportModel(state, set.limbs.size(), true);
+    reportModel(state, set.limbs.size(), V);
     state.SetItemsProcessed(state.iterations() * set.limbs.size());
 }
 
+template <NttVariant V>
 void
-BM_NttPhantomSim(benchmark::State &state)
+BM_InttVariantSweep(benchmark::State &state)
 {
     auto &set = limbSet(state.range(0));
     for (auto _ : state) {
         for (std::size_t i = 0; i < set.limbs.size(); ++i)
-            nttForward(set.limbs[i].data(), *set.tables[i]);
+            nttInverseVariant(set.limbs[i].data(), *set.tables[i], V);
         benchmark::DoNotOptimize(set.limbs[0].data());
     }
-    reportModel(state, set.limbs.size(), false);
-    state.SetItemsProcessed(state.iterations() * set.limbs.size());
-}
-
-void
-BM_InttFideslib(benchmark::State &state)
-{
-    auto &set = limbSet(state.range(0));
-    for (auto _ : state) {
-        for (std::size_t i = 0; i < set.limbs.size(); ++i)
-            nttInverseHierarchical(set.limbs[i].data(), *set.tables[i]);
-        benchmark::DoNotOptimize(set.limbs[0].data());
-    }
-    reportModel(state, set.limbs.size(), true);
-    state.SetItemsProcessed(state.iterations() * set.limbs.size());
-}
-
-void
-BM_InttPhantomSim(benchmark::State &state)
-{
-    auto &set = limbSet(state.range(0));
-    for (auto _ : state) {
-        for (std::size_t i = 0; i < set.limbs.size(); ++i)
-            nttInverse(set.limbs[i].data(), *set.tables[i]);
-        benchmark::DoNotOptimize(set.limbs[0].data());
-    }
-    reportModel(state, set.limbs.size(), false);
+    reportModel(state, set.limbs.size(), V);
     state.SetItemsProcessed(state.iterations() * set.limbs.size());
 }
 
 #define NTT_ARGS ->Arg(16)->Arg(32)->Arg(64)->Arg(128)
 
-BENCHMARK(BM_NttFideslib) NTT_ARGS->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_NttPhantomSim) NTT_ARGS->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_InttFideslib) NTT_ARGS->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_InttPhantomSim) NTT_ARGS->Unit(benchmark::kMicrosecond);
+// Paper Figure 4 pair: FIDESlib = hierarchical, PhantomSim = flat.
+BENCHMARK(BM_NttVariantSweep<NttVariant::Hierarchical>)
+    ->Name("BM_NttFideslib") NTT_ARGS->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NttVariantSweep<NttVariant::Flat>)
+    ->Name("BM_NttPhantomSim") NTT_ARGS->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InttVariantSweep<NttVariant::Hierarchical>)
+    ->Name("BM_InttFideslib") NTT_ARGS->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InttVariantSweep<NttVariant::Flat>)
+    ->Name("BM_InttPhantomSim") NTT_ARGS->Unit(benchmark::kMicrosecond);
+// The rest of the zoo.
+BENCHMARK(BM_NttVariantSweep<NttVariant::Radix4>)
+    ->Name("BM_NttRadix4") NTT_ARGS->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NttVariantSweep<NttVariant::BlockedHier>)
+    ->Name("BM_NttBlockedHier") NTT_ARGS->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NttVariantSweep<NttVariant::FusedLast>)
+    ->Name("BM_NttFusedLast") NTT_ARGS->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InttVariantSweep<NttVariant::Radix4>)
+    ->Name("BM_InttRadix4") NTT_ARGS->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InttVariantSweep<NttVariant::BlockedHier>)
+    ->Name("BM_InttBlockedHier") NTT_ARGS->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_InttVariantSweep<NttVariant::FusedLast>)
+    ->Name("BM_InttFusedLast") NTT_ARGS->Unit(benchmark::kMicrosecond);
+
+/**
+ * Runs the autotuner exactly as Context's Auto mode does (same
+ * candidate set, same fixed-trial protocol) over the degree x
+ * limb-count grid and dumps the table: per shape, the per-direction
+ * winner plus every candidate's ns/limb.
+ */
+void
+writeAutotunerTable(const char *path)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        warn("cannot write %s", path);
+        return;
+    }
+
+    const std::size_t degrees[] = {1 << 12, 1 << 13, 1 << 14};
+    const u32 limbCounts[] = {1, 8, 32, 128};
+    NttAutotuner tuner(NttAutotuner::Options::fromEnv());
+
+    std::fprintf(f, "[\n");
+    bool first = true;
+    for (std::size_t degree : degrees) {
+        // Fresh tables per degree, shared across the limb shapes
+        // (the tuner cycles limbs over them like the RNS chain does).
+        LimbSet set(degree, 8);
+        std::vector<const NttTables *> tables;
+        for (const auto &t : set.tables)
+            tables.push_back(t.get());
+        for (u32 limbs : limbCounts) {
+            const NttShapeStats s = tuner.tuneShape(tables, limbs);
+            if (!first)
+                std::fprintf(f, ",\n");
+            first = false;
+            std::fprintf(
+                f,
+                "  {\"logN\": %u, \"limbs\": %u,"
+                " \"fwd_winner\": \"%s\", \"fwd_col_block\": %u,"
+                " \"fwd_ns_per_limb\": %.1f,"
+                " \"inv_winner\": \"%s\", \"inv_col_block\": %u,"
+                " \"inv_ns_per_limb\": %.1f, \"candidates\": [",
+                s.logN, s.limbs, nttVariantName(s.choice.fwd),
+                s.choice.fwdColBlock, s.fwdNsPerLimb,
+                nttVariantName(s.choice.inv), s.choice.invColBlock,
+                s.invNsPerLimb);
+            for (std::size_t i = 0; i < s.times.size(); ++i) {
+                const NttCandidateTime &ct = s.times[i];
+                std::fprintf(
+                    f,
+                    "%s{\"variant\": \"%s\", \"col_block\": %u,"
+                    " \"fwd_ns_per_limb\": %.1f,"
+                    " \"inv_ns_per_limb\": %.1f}",
+                    i ? ", " : "", nttVariantName(ct.cand.variant),
+                    ct.cand.colBlock, ct.fwdNsPerLimb,
+                    ct.invNsPerLimb);
+            }
+            std::fprintf(f, "]}");
+            std::printf("tune logN=%u limbs=%3u: fwd=%s(%u) %.0f "
+                        "ns/limb, inv=%s(%u) %.0f ns/limb\n",
+                        s.logN, s.limbs,
+                        nttVariantName(s.choice.fwd),
+                        s.choice.fwdColBlock, s.fwdNsPerLimb,
+                        nttVariantName(s.choice.inv),
+                        s.choice.invColBlock, s.invNsPerLimb);
+        }
+    }
+    std::fprintf(f, "\n]\n");
+    std::fclose(f);
+}
+
+/** Strips "--json_out PATH" (and the "=PATH" form) from argv before
+ *  Google Benchmark sees, and rejects, unknown flags. */
+void
+parseJsonOutFlag(int &argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        constexpr const char *kName = "--json_out";
+        const std::size_t len = std::strlen(kName);
+        if (std::strncmp(arg, kName, len) == 0) {
+            if (arg[len] == '=')
+                value = arg + len + 1;
+            else if (arg[len] == '\0' && i + 1 < argc)
+                value = argv[++i];
+            if (!value || value[0] == '\0')
+                fatal("--json_out requires a path");
+            gJsonOut = value;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    parseJsonOutFlag(argc, argv);
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    writeAutotunerTable(gJsonOut.c_str());
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}

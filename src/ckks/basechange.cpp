@@ -289,11 +289,11 @@ modDown(RNSPoly &a)
     // iNTT the special limbs to coefficient form.
     kernels::forBatches(ctx, K, 2 * n * kWord, 2 * n * kWord,
                         5 * n * ctx.logDegree(),
-                        [&ctx, &ap, level](std::size_t lo,
-                                           std::size_t hi) {
+                        [&ctx, &ap, level, K](std::size_t lo,
+                                              std::size_t hi) {
         for (std::size_t k = lo; k < hi; ++k) {
             Limb &l = ap[level + 1 + k];
-            kernels::inttLimb(ctx, l.data(), l.primeIdx());
+            kernels::inttLimb(ctx, l.data(), l.primeIdx(), K);
         }
     }, [&ap, level](std::size_t k) {
         return ap[level + 1 + k].primeIdx();

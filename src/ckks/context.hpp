@@ -24,6 +24,7 @@
 #include "core/device.hpp"
 #include "core/modarith.hpp"
 #include "core/ntt.hpp"
+#include "core/ntt_tune.hpp"
 #include "core/rng.hpp"
 
 namespace fideslib::ckks
@@ -63,6 +64,19 @@ struct ConvTables
     std::vector<u64> sHatInvShoup;
     //! sHatModT[i * targetCount + t]: (S/s_i) mod t_t
     std::vector<u64> sHatModT;
+};
+
+/**
+ * Observability snapshot of the context's per-shape NTT schedule
+ * table (Context::nttStats): the configured policy, whether the
+ * autotuner actually ran, and -- in Auto mode -- the tuning outcome
+ * of every (degree, limb-bucket) shape that was raced.
+ */
+struct NttStats
+{
+    NttSchedule configured = NttSchedule::Flat;
+    bool tuned = false; //!< true iff the autotuner ran (Auto mode)
+    std::vector<NttShapeStats> shapes;
 };
 
 /** CKKS crypto-context: owns primes, tables and configuration. */
@@ -215,13 +229,25 @@ class Context
         fusion_ = f;
     }
     NttSchedule nttSchedule() const { return nttSchedule_; }
-    void
-    setNttSchedule(NttSchedule s)
-    {
-        if (s != nttSchedule_)
-            invalidatePlans();
-        nttSchedule_ = s;
-    }
+    /**
+     * Switches the NTT schedule policy. A genuine change invalidates
+     * every captured plan (replays re-run the kernel bodies, which
+     * read the choice table, so stale plans would otherwise keep the
+     * old arena reservations alive) and rebuilds the per-shape choice
+     * table -- re-running the autotuner when switching to Auto.
+     * Setting the already-active schedule is a no-op.
+     */
+    void setNttSchedule(NttSchedule s);
+    /**
+     * The tuned (or pinned) schedule choice for an op touching
+     * @p limbs limbs. Limb counts bucket at powers of two; reads are
+     * lock-free (the table is built in the constructor and rebuilt
+     * only by setNttSchedule, and execution knobs are mutated only
+     * between ops).
+     */
+    NttChoice nttChoiceFor(std::size_t limbs) const;
+    /** The per-shape schedule table plus tuning measurements. */
+    NttStats nttStats() const;
     ModMulKind modMulKind() const { return modMul_; }
     void
     setModMulKind(ModMulKind k)
@@ -289,6 +315,14 @@ class Context
   private:
     void generatePrimeChain();
     void buildConvTables();
+    /**
+     * (Re)builds the per-shape NTT choice table from nttSchedule_:
+     * non-Auto schedules pin one concrete variant for every shape;
+     * Auto races the schedule zoo on the context's real prime tables
+     * at power-of-two limb buckets (NttAutotuner) and records the
+     * winners. Called from the constructor and setNttSchedule.
+     */
+    void configureNtt();
 
     Parameters params_;
     std::unique_ptr<DeviceSet> devices_;
@@ -318,6 +352,14 @@ class Context
     bool fusion_;
     NttSchedule nttSchedule_;
     ModMulKind modMul_;
+
+    // Per-shape NTT schedule table (configureNtt). nttBuckets_[b] is
+    // the choice for limb counts in (2^{b-1}, 2^b]; pinnedNtt_ is the
+    // uniform choice non-Auto schedules use for every shape.
+    NttChoice pinnedNtt_;
+    std::vector<NttChoice> nttBuckets_;
+    std::vector<NttShapeStats> nttShapeStats_;
+    bool nttTuned_ = false;
 
     bool graphEnabled_;
     std::unique_ptr<kernels::PlanCache> plans_;

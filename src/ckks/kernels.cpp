@@ -443,37 +443,44 @@ scalarSubFrom(RNSPoly &a, const std::vector<u64> &scalar)
 }
 
 void
-nttLimb(const Context &ctx, u64 *data, u32 primeIdx)
+nttLimb(const Context &ctx, u64 *data, u32 primeIdx,
+        std::size_t shapeLimbs)
 {
     const NttTables &t = *ctx.prime(primeIdx).ntt;
-    if (ctx.nttSchedule() == NttSchedule::Hierarchical)
-        nttForwardHierarchical(data, t);
-    else
-        nttForward(data, t);
+    const NttChoice c = ctx.nttChoiceFor(shapeLimbs);
+    nttForwardVariant(data, t, c.fwd, c.fwdColBlock);
 }
 
 void
-inttLimb(const Context &ctx, u64 *data, u32 primeIdx)
+inttLimb(const Context &ctx, u64 *data, u32 primeIdx,
+         std::size_t shapeLimbs)
 {
     const NttTables &t = *ctx.prime(primeIdx).ntt;
-    if (ctx.nttSchedule() == NttSchedule::Hierarchical)
-        nttInverseHierarchical(data, t);
-    else
-        nttInverse(data, t);
+    const NttChoice c = ctx.nttChoiceFor(shapeLimbs);
+    nttInverseVariant(data, t, c.inv, c.invColBlock);
 }
 
 /**
- * Modelled off-chip traffic of one NTT limb: the hierarchical 2D
- * schedule touches every element in exactly two passes (four memory
- * accesses per element, paper Figure 3); a flat radix-2 schedule
- * spills one pass per pair of stages once the limb exceeds on-chip
- * memory.
+ * Modelled off-chip traffic of one NTT limb under variant @p v: the
+ * hierarchical 2D schedules touch every element in exactly two passes
+ * (four memory accesses per element, paper Figure 3); a flat radix-2
+ * schedule spills one pass per pair of stages once the limb exceeds
+ * on-chip memory, and the radix-4 schedule halves that by keeping
+ * four elements in registers across two stages.
  */
 static u64
-nttPassesPerLimb(const Context &ctx)
+nttPassesPerLimb(const Context &ctx, NttVariant v)
 {
-    if (ctx.nttSchedule() == NttSchedule::Hierarchical)
+    switch (v) {
+    case NttVariant::Hierarchical:
+    case NttVariant::BlockedHier:
         return 2;
+    case NttVariant::Radix4:
+        return std::max<u64>(2, ctx.logDegree() / 4);
+    case NttVariant::Flat:
+    case NttVariant::FusedLast:
+        break;
+    }
     return std::max<u64>(2, ctx.logDegree() / 2);
 }
 
@@ -484,13 +491,18 @@ toEval(RNSPoly &a)
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
     const u64 logN = ctx.logDegree();
-    const u64 passes = nttPassesPerLimb(ctx);
+    const std::size_t limbs = a.numLimbs();
+    // Resolve the tuned schedule once per op, not once per limb.
+    const NttChoice c = ctx.nttChoiceFor(limbs);
+    const u64 passes = nttPassesPerLimb(ctx, c.fwd);
     LimbPartition &ap = a.partition();
-    forBatches(ctx, a.numLimbs(), passes * n * kWord,
+    forBatches(ctx, limbs, passes * n * kWord,
                passes * n * kWord, 5 * n * logN,
-               [&ctx, &ap](std::size_t lo, std::size_t hi) {
+               [&ctx, &ap, c](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
-            nttLimb(ctx, ap[i].data(), ap[i].primeIdx());
+            nttForwardVariant(ap[i].data(),
+                              *ctx.prime(ap[i].primeIdx()).ntt,
+                              c.fwd, c.fwdColBlock);
     }, [&ap](std::size_t i) { return ap[i].primeIdx(); }, {wr(a)});
     a.setFormat(Format::Eval);
 }
@@ -502,13 +514,17 @@ toCoeff(RNSPoly &a)
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
     const u64 logN = ctx.logDegree();
-    const u64 passes = nttPassesPerLimb(ctx);
+    const std::size_t limbs = a.numLimbs();
+    const NttChoice c = ctx.nttChoiceFor(limbs);
+    const u64 passes = nttPassesPerLimb(ctx, c.inv);
     LimbPartition &ap = a.partition();
-    forBatches(ctx, a.numLimbs(), passes * n * kWord,
+    forBatches(ctx, limbs, passes * n * kWord,
                passes * n * kWord, 5 * n * logN,
-               [&ctx, &ap](std::size_t lo, std::size_t hi) {
+               [&ctx, &ap, c](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
-            inttLimb(ctx, ap[i].data(), ap[i].primeIdx());
+            nttInverseVariant(ap[i].data(),
+                              *ctx.prime(ap[i].primeIdx()).ntt,
+                              c.inv, c.invColBlock);
     }, [&ap](std::size_t i) { return ap[i].primeIdx(); }, {wr(a)});
     a.setFormat(Format::Coeff);
 }
@@ -761,7 +777,8 @@ runOpOnLimb(const Context &ctx, const FusedChain::Op &op,
                           (*op.ext)[i].data(), shape[i].primeIdx());
         break;
     case Kind::NttExt:
-        nttLimb(ctx, (*op.ext)[i].data(), shape[i].primeIdx());
+        nttLimb(ctx, (*op.ext)[i].data(), shape[i].primeIdx(),
+                shape.size());
         break;
     case Kind::SubScalarMulExt: {
         const u64 p = ctx.prime((*op.out)[i].primeIdx()).value();

@@ -14,8 +14,23 @@
 namespace fideslib::ckks
 {
 
-/** NTT loop schedule (paper Section III-F4). */
-enum class NttSchedule { Flat, Hierarchical };
+/**
+ * NTT loop schedule (paper Section III-F4). The first five pin one
+ * concrete variant of the core schedule zoo (core/ntt.hpp) globally;
+ * `Auto` runs the NttAutotuner at Context build and picks the winner
+ * per (degree, limb-count) shape, baking the choices into every
+ * subsequently captured execution plan. All variants are bit-exact
+ * against each other, so the choice is pure performance.
+ */
+enum class NttSchedule
+{
+    Flat,
+    Hierarchical,
+    Radix4,
+    BlockedHier,
+    FusedLast,
+    Auto,
+};
 
 /** Modular multiplication strategy in element-wise kernels. */
 enum class ModMulKind { Barrett, Naive };
@@ -39,8 +54,11 @@ struct Parameters
     // prefers long streams) and the flat NTT schedule (the
     // hierarchical 2D schedule is the GPU-optimal layout -- it trades
     // cache-line utilization for coalesced strides, which inverts on
-    // a CPU). Figure 7's bench sweeps limbBatch with simulated launch
-    // overhead; Figure 4's bench compares the NTT schedules.
+    // a CPU). NttSchedule::Auto replaces the single global pick with
+    // the per-shape autotuned table (the benches default to it); the
+    // FIDES_NTT_SCHEDULE environment variable overrides this field at
+    // Context build. Figure 7's bench sweeps limbBatch with simulated
+    // launch overhead; Figure 4's bench compares the NTT schedules.
     u32 limbBatch = 0;      //!< limbs per kernel launch (0 = all)
     bool fusion = true;     //!< enable kernel fusion (Section III-F5)
     NttSchedule nttSchedule = NttSchedule::Flat;

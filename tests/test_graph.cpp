@@ -189,6 +189,44 @@ TEST(GraphPlan, ExecutionKnobChangesInvalidatePlans)
     m.syncHost();
 }
 
+TEST(GraphPlan, NttScheduleSwitchInvalidatesAndRecapturesIdentically)
+{
+    // Switching the NTT schedule is an execution-knob change: the
+    // captured plans baked the old schedule's arena reservations, so
+    // a genuine switch must drop every plan AND release the reserved
+    // arenas; re-setting the active schedule must be a free no-op.
+    Fixture f(topologyParams(1, 2));
+    auto a = f.encrypt(0.29);
+    auto b = f.encrypt(0.31);
+
+    Ciphertext m1 = f.eval.multiply(a, b);
+    m1.syncHost();
+    ASSERT_EQ(f.ctx.plans().size(), 1u);
+    ASSERT_GT(f.ctx.planStats().reservedBytes, 0u);
+
+    // Re-setting the already-active schedule keeps the plans.
+    f.ctx.setNttSchedule(f.ctx.nttSchedule());
+    EXPECT_EQ(f.ctx.plans().size(), 1u);
+
+    // A genuine switch clears the plans and the arena reservations.
+    f.ctx.setNttSchedule(NttSchedule::Radix4);
+    EXPECT_EQ(f.ctx.plans().size(), 0u);
+    EXPECT_EQ(f.ctx.planStats().reservedBytes, 0u);
+
+    // The fresh capture under the new schedule runs the new kernels
+    // but must be bit-identical: every variant is bit-exact.
+    Ciphertext m2 = f.eval.multiply(a, b);
+    EXPECT_EQ(f.ctx.plans().size(), 1u);
+    expectPolyEqual(m1.c0, m2.c0, "recapture c0");
+    expectPolyEqual(m1.c1, m2.c1, "recapture c1");
+
+    // And the replay of the recaptured plan matches too.
+    Ciphertext m3 = f.eval.multiply(a, b);
+    EXPECT_GT(f.ctx.devices().planReplays(), 0u);
+    expectPolyEqual(m1.c0, m3.c0, "replay c0");
+    expectPolyEqual(m1.c1, m3.c1, "replay c1");
+}
+
 TEST(GraphPlan, EscapeHatchDisablesTheLayer)
 {
     Fixture f(topologyParams(2, 2));

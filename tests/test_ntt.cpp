@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include "core/ntt.hpp"
+#include "core/ntt_tune.hpp"
 #include "core/primes.hpp"
 #include "core/rng.hpp"
+#include "ref/refntt.hpp"
 
 namespace fideslib
 {
@@ -122,6 +124,186 @@ TEST_P(NttParam, OutputsAreFullyReduced)
 INSTANTIATE_TEST_SUITE_P(Degrees, NttParam,
                          ::testing::Values(4u, 8u, 16u, 64u, 128u, 256u,
                                            1024u, 4096u, 8192u));
+
+/**
+ * Schedule-zoo equivalence: every NttVariant must be bit-exact
+ * against the independently derived reference NTT (src/ref/refntt),
+ * forward and inverse, across degrees 2^10..2^14 and several prime
+ * widths -- the autotuner's freedom to pick any variant per shape
+ * rests on this.
+ */
+class NttZooParam : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    static std::vector<NttVariant> variants()
+    {
+        return {NttVariant::Flat, NttVariant::Hierarchical,
+                NttVariant::Radix4, NttVariant::BlockedHier,
+                NttVariant::FusedLast};
+    }
+};
+
+TEST_P(NttZooParam, EveryVariantMatchesReferenceForward)
+{
+    const std::size_t n = GetParam();
+    for (u32 bits : {45u, 54u, 59u}) {
+        NttSetup s(n, bits, 10);
+        Prng prng(n + bits);
+        const auto a = randomPoly(prng, n, s.mod.value);
+        auto expect = a;
+        ref::refNttForward(expect, s.mod, s.tables.psi());
+        for (NttVariant v : variants()) {
+            auto got = a;
+            nttForwardVariant(got.data(), s.tables, v);
+            ASSERT_EQ(expect, got)
+                << "variant=" << nttVariantName(v) << " n=" << n
+                << " bits=" << bits;
+        }
+    }
+}
+
+TEST_P(NttZooParam, EveryVariantMatchesReferenceInverse)
+{
+    const std::size_t n = GetParam();
+    for (u32 bits : {45u, 54u, 59u}) {
+        NttSetup s(n, bits, 11);
+        Prng prng(2 * n + bits);
+        const auto a = randomPoly(prng, n, s.mod.value);
+        auto expect = a;
+        ref::refNttInverse(expect, s.mod, s.tables.psi());
+        for (NttVariant v : variants()) {
+            auto got = a;
+            nttInverseVariant(got.data(), s.tables, v);
+            ASSERT_EQ(expect, got)
+                << "variant=" << nttVariantName(v) << " n=" << n
+                << " bits=" << bits;
+        }
+    }
+}
+
+TEST_P(NttZooParam, EveryVariantRoundTrips)
+{
+    const std::size_t n = GetParam();
+    NttSetup s(n, 59, 12);
+    Prng prng(3 * n);
+    const auto a = randomPoly(prng, n, s.mod.value);
+    for (NttVariant fwd : variants()) {
+        for (NttVariant inv : variants()) {
+            auto b = a;
+            nttForwardVariant(b.data(), s.tables, fwd);
+            nttInverseVariant(b.data(), s.tables, inv);
+            ASSERT_EQ(a, b) << "fwd=" << nttVariantName(fwd)
+                            << " inv=" << nttVariantName(inv)
+                            << " n=" << n;
+        }
+    }
+}
+
+TEST_P(NttZooParam, BlockedHierBitExactAtEveryBlockSize)
+{
+    const std::size_t n = GetParam();
+    NttSetup s(n, 59, 13);
+    Prng prng(4 * n);
+    const auto a = randomPoly(prng, n, s.mod.value);
+    auto fwdExpect = a;
+    nttForward(fwdExpect.data(), s.tables);
+    auto invExpect = a;
+    nttInverse(invExpect.data(), s.tables);
+    // 0 = the L1-sized default; oversized values clamp to the column
+    // count, so every block size must be value-identical.
+    for (std::size_t cb : {std::size_t{0}, std::size_t{1},
+                           std::size_t{8}, std::size_t{64},
+                           std::size_t{1} << 20}) {
+        auto fwd = a;
+        nttForwardBlockedHier(fwd.data(), s.tables, cb);
+        ASSERT_EQ(fwdExpect, fwd) << "colBlock=" << cb << " n=" << n;
+        auto inv = a;
+        nttInverseBlockedHier(inv.data(), s.tables, cb);
+        ASSERT_EQ(invExpect, inv) << "colBlock=" << cb << " n=" << n;
+    }
+}
+
+TEST_P(NttZooParam, VariantOutputsAreFullyReduced)
+{
+    const std::size_t n = GetParam();
+    NttSetup s(n, 60, 14);
+    Prng prng(5 * n);
+    const auto a = randomPoly(prng, n, s.mod.value);
+    for (NttVariant v : variants()) {
+        auto fwd = a;
+        nttForwardVariant(fwd.data(), s.tables, v);
+        for (u64 x : fwd)
+            ASSERT_LT(x, s.mod.value) << nttVariantName(v);
+        auto inv = a;
+        nttInverseVariant(inv.data(), s.tables, v);
+        for (u64 x : inv)
+            ASSERT_LT(x, s.mod.value) << nttVariantName(v);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, NttZooParam,
+                         ::testing::Values(1024u, 2048u, 4096u, 8192u,
+                                           16384u));
+
+TEST(NttZoo, SmallDegreesMatchNaive)
+{
+    // Tiny transforms exercise the radix-4 odd/even logN edge cases
+    // (leading/trailing radix-2 stage) and the FusedLast n<4 guards.
+    for (std::size_t n : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+        NttSetup s(n, 49, 15);
+        Prng prng(n + 7);
+        const auto a = randomPoly(prng, n, s.mod.value);
+        const auto naive = nttNaive(a, s.tables);
+        for (NttVariant v : {NttVariant::Flat, NttVariant::Hierarchical,
+                             NttVariant::Radix4, NttVariant::BlockedHier,
+                             NttVariant::FusedLast}) {
+            auto fwd = a;
+            nttForwardVariant(fwd.data(), s.tables, v);
+            ASSERT_EQ(naive, fwd)
+                << "variant=" << nttVariantName(v) << " n=" << n;
+            auto rt = fwd;
+            nttInverseVariant(rt.data(), s.tables, v);
+            ASSERT_EQ(a, rt)
+                << "variant=" << nttVariantName(v) << " n=" << n;
+        }
+    }
+}
+
+TEST(NttZoo, AutotunerPicksAreDeterministicAndValid)
+{
+    const std::size_t n = 4096;
+    NttSetup s(n, 54, 16);
+    std::vector<const NttTables *> tables = {&s.tables};
+
+    NttAutotuner::Options opt;
+    opt.trials = 1; // fixed-trial mode: minimal, reproducible work
+    NttAutotuner tuner(opt);
+    const NttShapeStats stats = tuner.tuneShape(tables, 4);
+
+    EXPECT_EQ(stats.logN, 12u);
+    EXPECT_EQ(stats.limbs, 4u);
+    // Every candidate of the deterministic candidate set was raced.
+    EXPECT_EQ(stats.times.size(),
+              NttAutotuner::candidates(n).size());
+    for (const NttCandidateTime &ct : stats.times) {
+        EXPECT_GT(ct.fwdNsPerLimb, 0.0);
+        EXPECT_GT(ct.invNsPerLimb, 0.0);
+    }
+    // The recorded winners really are the minima.
+    for (const NttCandidateTime &ct : stats.times) {
+        EXPECT_LE(stats.fwdNsPerLimb, ct.fwdNsPerLimb);
+        EXPECT_LE(stats.invNsPerLimb, ct.invNsPerLimb);
+    }
+    // And the winning choice still computes the right transform.
+    Prng prng(6 * n);
+    const auto a = randomPoly(prng, n, s.mod.value);
+    auto expect = a;
+    nttForward(expect.data(), s.tables);
+    auto got = a;
+    nttForwardVariant(got.data(), s.tables, stats.choice.fwd,
+                      stats.choice.fwdColBlock);
+    EXPECT_EQ(expect, got);
+}
 
 /** Schoolbook negacyclic product used as the convolution oracle. */
 std::vector<u64>

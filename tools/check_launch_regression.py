@@ -19,9 +19,15 @@ and if the plan cache stopped engaging:
 
 Rows are matched by benchmark name. A small tolerance absorbs
 iteration-count rounding; genuinely new rows (no baseline counterpart)
-are reported but never fail the gate. Timing counters such as
-host_dispatch_us are emitted for the per-commit trajectory but not
-gated -- CI machines are too noisy for wall-clock thresholds.
+are reported but never fail the gate.
+
+Timing metrics are gated too, with a deliberately generous band
+(TIME_TOLERANCE): ns_per_op and host_dispatch_us must stay within a
+multiple of the committed baseline. The band is wide because CI
+machines differ from the committing machine -- the gate exists to
+catch order-of-magnitude regressions (an NTT schedule pick gone
+pathological, a plan replay falling back to uncached dispatch), not
+single-digit-percent drift.
 
 With a third argument (BENCH_serve.json), the serving-throughput gate
 also runs: the highest-submitter-count row must sustain at least
@@ -36,7 +42,12 @@ so a machine needs cores comfortably above that for extra submitters
 to be physically able to add throughput. GitHub's standard runners
 have 4; the bench records its core count in each row.
 
-Usage: check_launch_regression.py BASELINE.json FRESH.json [SERVE.json]
+Usage: check_launch_regression.py [--skip-time-gate] BASELINE.json
+       FRESH.json [SERVE.json]
+
+--skip-time-gate drops the wall-clock band (Debug/sanitizer CI legs
+run the launch-economy gate against the Release-committed baseline;
+their timings are legitimately several times slower).
 """
 
 import json
@@ -44,7 +55,9 @@ import sys
 
 GATED_COUNTERS = ("kernels_per_op", "kernel_launches", "syncs_per_op")
 MIN_ONE_COUNTERS = ("plan_cache_hits",)
+TIMED_COUNTERS = ("ns_per_op", "host_dispatch_us")
 TOLERANCE = 1.05  # 5% headroom for iteration rounding
+TIME_TOLERANCE = 2.0  # coarse cross-machine wall-clock band
 SERVE_SCALING = 1.3  # multi-submitter ops/s vs 1 submitter
 MIN_SERVE_CORES = 4  # below this, extra submitters cannot add ops/s
 
@@ -91,12 +104,14 @@ def check_serve(path, failures):
 
 
 def main():
-    if len(sys.argv) not in (3, 4):
+    args = [a for a in sys.argv[1:] if a != "--skip-time-gate"]
+    time_gate = "--skip-time-gate" not in sys.argv[1:]
+    if len(args) not in (2, 3):
         sys.exit(__doc__)
-    baseline = load(sys.argv[1])
-    fresh = load(sys.argv[2])
+    baseline = load(args[0])
+    fresh = load(args[1])
     if not fresh:
-        sys.exit("FAIL: no benchmark rows in " + sys.argv[2])
+        sys.exit("FAIL: no benchmark rows in " + args[1])
 
     failures = []
     for name, row in sorted(fresh.items()):
@@ -122,9 +137,20 @@ def main():
                   f"(baseline {want:.2f})")
             if verdict == "FAIL":
                 failures.append((name, counter, got, want))
+        for counter in TIMED_COUNTERS:
+            if not time_gate or counter not in row \
+                    or counter not in base:
+                continue
+            got, want = row[counter], base[counter]
+            limit = want * TIME_TOLERANCE
+            verdict = "OK  " if got <= limit else "FAIL"
+            print(f"{verdict} {name} {counter}: {got:.0f} "
+                  f"(baseline {want:.0f}, band {TIME_TOLERANCE}x)")
+            if verdict == "FAIL":
+                failures.append((name, counter, got, limit))
 
-    if len(sys.argv) == 4:
-        check_serve(sys.argv[3], failures)
+    if len(args) == 3:
+        check_serve(args[2], failures)
 
     if failures:
         sys.exit(f"FAIL: {len(failures)} launch-economy regression(s) "
