@@ -1,19 +1,39 @@
 /**
  * @file
- * Table VI reproduction: bootstrapping time and amortized time
- * (us / (slot * remaining level)) across slot counts, FIDESlib
- * (all optimizations) vs the Baseline-sim configuration (naive `%`
- * arithmetic, no fusion, no limb batching, flat NTT -- the shape of
- * an unoptimized CPU implementation on the same substrate).
+ * Table VI reproduction plus the composite-segment A/B: bootstrapping
+ * time and amortized time (us / (slot * remaining level)) across slot
+ * counts, FIDESlib (all optimizations) vs the Baseline-sim
+ * configuration (naive `%` arithmetic, no fusion, no limb batching,
+ * flat NTT -- the shape of an unoptimized CPU implementation on the
+ * same substrate).
+ *
+ * The FIDESlib configuration is measured twice on the same binary:
+ * BM_BootstrapSeg with composite segment plans (a whole CoeffToSlot /
+ * EvalMod / SlotToCoeff ladder replays as ONE captured graph each,
+ * DESIGN.md §1.10) and BM_BootstrapPerOp with segments gated off, so
+ * the per-bootstrap host dispatch cost and the number of plan-cache
+ * entries exercised are directly comparable. Both run in the plan-
+ * cache steady state: a warmup bootstrap captures, the timed
+ * iteration replays. CI gates plan_entries_per_boot(seg) at >= 3x
+ * fewer than per-op, and plan_keys / host_dispatch_us against the
+ * committed BENCH_bootstrap.json baseline
+ * (tools/check_launch_regression.py).
  *
  * Default: bootstrappable test set at logN=12 with slots
  * {64, 256, 1024}; FIDES_PAPER_SCALE=1 selects the paper's
  * [16, 29, 59, 4] and slots {64, 512, 16384, 32768} (hours on one
- * host core -- the paper ran an RTX 4090).
+ * host core -- the paper ran an RTX 4090). Besides the console
+ * output, every run (over)writes the machine-readable summary to
+ * --json_out, defaulting to BENCH_bootstrap.json in the CWD; CI
+ * passes the repo-root path.
  */
+
+#include <cstring>
+#include <string>
 
 #include "bench_common.hpp"
 #include "ckks/bootstrap.hpp"
+#include "ckks/graph.hpp"
 
 namespace
 {
@@ -21,12 +41,21 @@ namespace
 using namespace fideslib;
 using namespace fideslib::bench;
 
+std::string gJsonOut = "BENCH_bootstrap.json";
+
 Parameters
 bootParams()
 {
-    if (paperScale())
-        return Parameters::paper16();
-    return Parameters::testBoot();
+    // 2 devices x 2 streams: kernel bodies run on stream workers, so
+    // the submitting thread's CPU time (host_dispatch_us) is pure
+    // dispatch -- the quantity composite segments collapse. On the
+    // 1x1 default the kernels would execute inline on the submitter
+    // and drown the signal.
+    Parameters p =
+        paperScale() ? Parameters::paper16() : Parameters::testBoot();
+    p.numDevices = 2;
+    p.streamsPerDevice = 2;
+    return p;
 }
 
 std::vector<u32>
@@ -73,19 +102,94 @@ setup(u32 slots)
     return *it->second;
 }
 
+/** The steady-state bootstrap loop: warm capture outside the timer,
+ *  replays inside, host dispatch in thread CPU time. */
 void
-runBootstrap(benchmark::State &state, bool baselineSim)
+runPlanned(benchmark::State &state, bool segments)
 {
     const u32 slots = static_cast<u32>(state.range(0));
     auto &b = cachedContext("boot", bootParams(), {}, true);
     auto &s = setup(slots);
 
-    if (baselineSim) {
-        b.ctx->setFusion(false);
-        b.ctx->setLimbBatch(0);
-        b.ctx->setNttSchedule(NttSchedule::Flat);
-        b.ctx->setModMulKind(ModMulKind::Naive);
+    // Fresh cache per mode so plan_keys / plan_arena_mb describe THIS
+    // configuration alone (segment and per-op keys would otherwise
+    // accumulate across rows).
+    b.ctx->setSegmentPlansEnabled(segments);
+    b.ctx->invalidatePlans();
+    b.ctx->devices().setLaunchOverheadNs(2000);
+    {
+        auto warm = s.boot->bootstrap(s.ct);
+        benchmark::DoNotOptimize(warm.c0.limb(0).data());
+        b.ctx->devices().synchronize();
     }
+    DeviceSet &devs = b.ctx->devices();
+    devs.resetCounters();
+    const u64 entries0 = devs.planReplays() + devs.planCaptures();
+    u32 outLevel = 0;
+    double dispatchNs = 0;
+    for (auto _ : state) {
+        const double t0 = threadCpuNs();
+        auto fresh = s.boot->bootstrap(s.ct);
+        dispatchNs += threadCpuNs() - t0;
+        outLevel = fresh.level();
+        benchmark::DoNotOptimize(fresh.c0.limb(0).data());
+        devs.synchronize();
+    }
+    reportPlatformModel(state, state.iterations(), devs);
+
+    const double iters =
+        static_cast<double>(std::max<u64>(1, state.iterations()));
+    // Plan-cache entries exercised per bootstrap (replays + captures
+    // since the warm run): THE segment metric -- composite plans
+    // collapse hundreds of per-op graph launches into a handful.
+    state.counters["plan_entries_per_boot"] =
+        static_cast<double>(devs.planReplays() + devs.planCaptures()
+                            - entries0) /
+        iters;
+    const kernels::PlanCacheStats ps = b.ctx->planStats();
+    state.counters["plan_keys"] =
+        static_cast<double>(ps.keys.size());
+    state.counters["plan_misses"] = static_cast<double>(ps.misses);
+    state.counters["plan_hits"] = static_cast<double>(ps.hits);
+    state.counters["plan_arena_mb"] =
+        static_cast<double>(ps.reservedBytes) / 1e6;
+    state.counters["segment_keys"] =
+        static_cast<double>(ps.segmentKeys);
+    state.counters["segment_hits"] =
+        static_cast<double>(ps.segmentHits);
+    state.counters["host_dispatch_us"] = dispatchNs / 1e3 / iters;
+    state.counters["slots"] = slots;
+    state.counters["levels_remaining"] = outLevel;
+    state.counters["segments_on"] = segments ? 1 : 0;
+
+    devs.setLaunchOverheadNs(0);
+    b.ctx->setSegmentPlansEnabled(true);
+    state.SetLabel(segments ? "FIDESlib-seg" : "FIDESlib-perop");
+}
+
+void
+BM_BootstrapSeg(benchmark::State &state)
+{
+    runPlanned(state, true);
+}
+
+void
+BM_BootstrapPerOp(benchmark::State &state)
+{
+    runPlanned(state, false);
+}
+
+void
+BM_BootstrapBaselineSim(benchmark::State &state)
+{
+    const u32 slots = static_cast<u32>(state.range(0));
+    auto &b = cachedContext("boot", bootParams(), {}, true);
+    auto &s = setup(slots);
+
+    b.ctx->setFusion(false);
+    b.ctx->setLimbBatch(0);
+    b.ctx->setNttSchedule(NttSchedule::Flat);
+    b.ctx->setModMulKind(ModMulKind::Naive);
     u32 outLevel = 0;
     b.ctx->devices().resetCounters();
     for (auto _ : state) {
@@ -94,28 +198,40 @@ runBootstrap(benchmark::State &state, bool baselineSim)
         benchmark::DoNotOptimize(fresh.c0.limb(0).data());
     }
     reportPlatformModel(state, state.iterations(), b.ctx->devices());
-    if (baselineSim) {
-        Parameters p = bootParams();
-        b.ctx->setFusion(p.fusion);
-        b.ctx->setLimbBatch(p.limbBatch);
-        b.ctx->setNttSchedule(p.nttSchedule);
-        b.ctx->setModMulKind(p.modMul);
-    }
+    Parameters p = bootParams();
+    b.ctx->setFusion(p.fusion);
+    b.ctx->setLimbBatch(p.limbBatch);
+    b.ctx->setNttSchedule(p.nttSchedule);
+    b.ctx->setModMulKind(p.modMul);
     state.counters["slots"] = slots;
     state.counters["levels_remaining"] = outLevel;
-    state.SetLabel(baselineSim ? "Baseline-sim" : "FIDESlib");
+    state.SetLabel("Baseline-sim");
 }
 
+/** Strips "--json_out PATH" (and "--json_out=PATH") from argv before
+ *  Google Benchmark sees, and rejects, unknown flags. */
 void
-BM_BootstrapFideslib(benchmark::State &state)
+parseJsonOutFlag(int &argc, char **argv)
 {
-    runBootstrap(state, false);
-}
-
-void
-BM_BootstrapBaselineSim(benchmark::State &state)
-{
-    runBootstrap(state, true);
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        constexpr const char *kFlag = "--json_out";
+        const std::size_t len = std::strlen(kFlag);
+        if (std::strncmp(arg, kFlag, len) == 0) {
+            if (arg[len] == '=')
+                value = arg + len + 1;
+            else if (arg[len] == '\0' && i + 1 < argc)
+                value = argv[++i];
+            if (!value || value[0] == '\0')
+                fideslib::fatal("--json_out requires a path");
+            gJsonOut = value;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
 }
 
 } // namespace
@@ -123,10 +239,16 @@ BM_BootstrapBaselineSim(benchmark::State &state)
 int
 main(int argc, char **argv)
 {
+    parseJsonOutFlag(argc, argv);
     Parameters p = bootParams();
     for (u32 slots : slotSweep(p)) {
-        ::benchmark::RegisterBenchmark("BM_BootstrapFideslib",
-                                       BM_BootstrapFideslib)
+        ::benchmark::RegisterBenchmark("BM_BootstrapSeg",
+                                       BM_BootstrapSeg)
+            ->Arg(slots)
+            ->Unit(::benchmark::kMillisecond)
+            ->Iterations(1);
+        ::benchmark::RegisterBenchmark("BM_BootstrapPerOp",
+                                       BM_BootstrapPerOp)
             ->Arg(slots)
             ->Unit(::benchmark::kMillisecond)
             ->Iterations(1);
@@ -137,6 +259,11 @@ main(int argc, char **argv)
             ->Iterations(1);
     }
     ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    JsonDumpReporter reporter;
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);
+    writeJson(reporter, gJsonOut.c_str());
+    ::benchmark::Shutdown();
     return 0;
 }

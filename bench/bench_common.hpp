@@ -15,13 +15,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "ckks/encryptor.hpp"
 #include "ckks/evaluator.hpp"
 #include "ckks/keygen.hpp"
+#include "core/logging.hpp"
 
 namespace fideslib::bench
 {
@@ -143,6 +149,92 @@ reportPlatformModel(::benchmark::State &state, u64 iterations,
     // staying > 0 for the HMult loop.
     state.counters["plan_cache_hits"] =
         static_cast<double>(devs.planReplays());
+}
+
+/**
+ * CPU time of the calling thread. Host dispatch cost is measured in
+ * thread CPU time, not wall time: on a machine with fewer cores than
+ * worker threads, wall time charges the submitting thread for every
+ * preemption by a kernel body, drowning the dispatch signal in
+ * scheduler noise.
+ */
+inline double
+threadCpuNs()
+{
+#ifdef __linux__
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) * 1e9
+         + static_cast<double>(ts.tv_nsec);
+#else
+    return std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+#endif
+}
+
+/**
+ * Console reporter that additionally collects every finished run so
+ * main() can dump a machine-readable summary (the committed BENCH_*
+ * trajectory files CI gates on). Counter names carry their meaning:
+ * syncs_per_op counts host-side joins, devN_launches the per-device
+ * kernel distribution.
+ */
+class JsonDumpReporter : public ::benchmark::ConsoleReporter
+{
+  public:
+    struct Row
+    {
+        std::string name;
+        double nsPerOp;
+        std::map<std::string, double> counters;
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            Row row;
+            row.name = run.benchmark_name();
+            const double iters =
+                run.iterations ? static_cast<double>(run.iterations)
+                               : 1.0;
+            row.nsPerOp = run.real_accumulated_time * 1e9 / iters;
+            for (const auto &[key, counter] : run.counters)
+                row.counters[key] = counter.value;
+            rows_.push_back(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    const std::vector<Row> &rows() const { return rows_; }
+
+  private:
+    std::vector<Row> rows_;
+};
+
+inline void
+writeJson(const JsonDumpReporter &rep, const char *path)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        fideslib::warn("cannot write %s", path);
+        return;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rep.rows().size(); ++i) {
+        const auto &row = rep.rows()[i];
+        std::fprintf(f, "  {\"name\": \"%s\", \"ns_per_op\": %.1f",
+                     row.name.c_str(), row.nsPerOp);
+        for (const auto &[key, value] : row.counters)
+            std::fprintf(f, ", \"%s\": %.4f", key.c_str(), value);
+        std::fprintf(f, "}%s\n",
+                     i + 1 < rep.rows().size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
 }
 
 /**

@@ -50,28 +50,6 @@
 namespace
 {
 
-/**
- * CPU time of the calling thread. Host dispatch cost is measured in
- * thread CPU time, not wall time: on a machine with fewer cores than
- * worker threads, wall time charges the submitting thread for every
- * preemption by a kernel body, drowning the dispatch signal in
- * scheduler noise.
- */
-double
-threadCpuNs()
-{
-#ifdef __linux__
-    timespec ts;
-    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
-    return static_cast<double>(ts.tv_sec) * 1e9
-         + static_cast<double>(ts.tv_nsec);
-#else
-    return std::chrono::duration<double, std::nano>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-#endif
-}
-
 using namespace fideslib;
 using namespace fideslib::bench;
 
@@ -233,70 +211,6 @@ parseTopologyFlags(int &argc, char **argv)
         fideslib::warn("--streams %u rounded to %u (%u per device)",
                        requested, gStreams, gStreams / gDevices);
     }
-}
-
-/**
- * Console reporter that additionally collects every finished run so
- * main() can dump a machine-readable summary. Counter names carry
- * their meaning: syncs_per_op counts host-side joins (the metric the
- * event model exists to shrink), devN_launches the per-device kernel
- * distribution.
- */
-class JsonDumpReporter : public ::benchmark::ConsoleReporter
-{
-  public:
-    struct Row
-    {
-        std::string name;
-        double nsPerOp;
-        std::map<std::string, double> counters;
-    };
-
-    void
-    ReportRuns(const std::vector<Run> &runs) override
-    {
-        for (const Run &run : runs) {
-            if (run.error_occurred)
-                continue;
-            Row row;
-            row.name = run.benchmark_name();
-            const double iters =
-                run.iterations ? static_cast<double>(run.iterations)
-                               : 1.0;
-            row.nsPerOp = run.real_accumulated_time * 1e9 / iters;
-            for (const auto &[key, counter] : run.counters)
-                row.counters[key] = counter.value;
-            rows_.push_back(std::move(row));
-        }
-        ConsoleReporter::ReportRuns(runs);
-    }
-
-    const std::vector<Row> &rows() const { return rows_; }
-
-  private:
-    std::vector<Row> rows_;
-};
-
-void
-writeJson(const JsonDumpReporter &rep, const char *path)
-{
-    std::FILE *f = std::fopen(path, "w");
-    if (!f) {
-        fideslib::warn("cannot write %s", path);
-        return;
-    }
-    std::fprintf(f, "[\n");
-    for (std::size_t i = 0; i < rep.rows().size(); ++i) {
-        const auto &row = rep.rows()[i];
-        std::fprintf(f, "  {\"name\": \"%s\", \"ns_per_op\": %.1f",
-                     row.name.c_str(), row.nsPerOp);
-        for (const auto &[key, value] : row.counters)
-            std::fprintf(f, ", \"%s\": %.4f", key.c_str(), value);
-        std::fprintf(f, "}%s\n",
-                     i + 1 < rep.rows().size() ? "," : "");
-    }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
 }
 
 } // namespace

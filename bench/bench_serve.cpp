@@ -15,6 +15,14 @@
  * bit-identical across submitter counts (proven by test_serve); this
  * bench measures only the schedule.
  *
+ * A final "serve_bootstrap" row exercises the long-program path: a
+ * refresh chain (input -> bootstrap -> square -> rescale) served
+ * through a Server configured with a Bootstrapper, over its own
+ * bootstrappable context. Each bootstrap replays the three composite
+ * segment plans (DESIGN.md §1.10), so the row records the serving
+ * cost of a ~40-op program that dispatches as a handful of graph
+ * replays.
+ *
  * Writes a machine-readable summary to --json_out (default
  * BENCH_serve.json in the CWD). CI gates multi-submitter scaling
  * against the single-submitter row via
@@ -22,6 +30,9 @@
  * machines with enough cores (reported in the "cores" field) for
  * extra submitters to be physically able to add wall-clock
  * throughput over the kernel compute one request already pipelines.
+ * The serve_bootstrap row is exempt from the scaling gate (it is a
+ * latency row, not a throughput sweep) but shares the
+ * plan_cache_hits >= 1 floor: served bootstraps must replay.
  */
 
 #include <algorithm>
@@ -32,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "ckks/bootstrap.hpp"
 #include "ckks/encryptor.hpp"
 #include "ckks/graph.hpp"
 #include "ckks/keygen.hpp"
@@ -119,6 +131,121 @@ runOnce(const Context &ctx, const KeyBundle &keys,
     };
     return {submitters, seconds, pct(0.50), pct(0.99),
             ctx.devices().planReplays() - hits0};
+}
+
+//! serve_bootstrap row shape: one bootstrap plus the two follow-up
+//! ops a refresh-then-compute client program actually runs.
+constexpr u32 kBootRequests = 4;
+constexpr u32 kBootSubmitters = 2;
+constexpr u32 kBootOpsPerRequest = 3; //!< bootstrap, square, rescale
+
+/**
+ * The long-program serving row: bootstrap-bearing requests through a
+ * Server with a Bootstrapper engine, on a dedicated bootstrappable
+ * context (the stats rows' paper13 set has no level headroom for a
+ * bootstrap pipeline). Writes the final row of the JSON array (no
+ * trailing comma).
+ */
+void
+writeBootstrapRow(std::FILE *f, u32 cores)
+{
+    Parameters p = Parameters::testBoot();
+    p.numDevices = 2;
+    p.streamsPerDevice = 2;
+    Context ctx(p);
+    KeyGen keygen(ctx);
+    KeyBundle keys = keygen.makeBundle({}, true);
+    Evaluator eval(ctx, keys);
+
+    BootstrapConfig cfg;
+    cfg.slots = 32;
+    cfg.levelBudgetC2S = 2;
+    cfg.levelBudgetS2C = 2;
+    Bootstrapper boot(eval, cfg);
+    keygen.addRotationKeys(keys, boot.requiredRotations());
+
+    Encoder enc(ctx);
+    Encryptor encr(ctx, keys.pk);
+    std::vector<std::complex<double>> zs(cfg.slots);
+    for (u32 i = 0; i < cfg.slots; ++i)
+        zs[i] = {0.21 * std::cos(0.37 * i), 0.21 * std::sin(0.91 * i)};
+    Ciphertext x =
+        encr.encrypt(enc.encode(zs, cfg.slots, ctx.maxLevel()));
+
+    auto refreshProgram = [&] {
+        Request r;
+        u32 a = r.input(x.clone());
+        u32 fresh = r.bootstrap(a);
+        u32 sq = r.square(fresh);
+        r.rescale(sq);
+        return r;
+    };
+
+    ctx.setLimbBatch(2);
+    ctx.devices().setLaunchOverheadNs(2000);
+
+    Server::Options opt;
+    opt.submitters = kBootSubmitters;
+    opt.bootstrapper = &boot;
+
+    // Warm: the first bootstrap captures the three composite segment
+    // plans; the measured requests replay them.
+    {
+        Server warm(ctx, keys, opt);
+        warm.submit(refreshProgram()).get();
+    }
+    ctx.devices().synchronize();
+    const u64 hits0 = ctx.devices().planReplays();
+
+    std::vector<Request> requests;
+    requests.reserve(kBootRequests);
+    for (u32 i = 0; i < kBootRequests; ++i)
+        requests.push_back(refreshProgram());
+
+    Server server(ctx, keys, opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<Handle> handles;
+    handles.reserve(requests.size());
+    for (Request &r : requests)
+        handles.push_back(server.submit(std::move(r)));
+    std::vector<double> latencies;
+    latencies.reserve(handles.size());
+    for (Handle &h : handles) {
+        (void)h.get();
+        latencies.push_back(h.latencyMs());
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double q) {
+        std::size_t i = static_cast<std::size_t>(
+            q * static_cast<double>(latencies.size() - 1));
+        return latencies[i];
+    };
+    const u64 planHits = ctx.devices().planReplays() - hits0;
+    const double reqPerSec =
+        static_cast<double>(kBootRequests) / seconds;
+    const kernels::PlanCacheStats ps = ctx.planStats();
+
+    std::printf("  bootstrap (%u submitters)  %6.2f req/s  "
+                "p50 %7.1f ms  p99 %7.1f ms  segment_hits %llu\n",
+                kBootSubmitters, reqPerSec, pct(0.50), pct(0.99),
+                static_cast<unsigned long long>(ps.segmentHits));
+    std::fprintf(
+        f,
+        "  {\"name\": \"serve_bootstrap\", \"submitters\": %u, "
+        "\"requests\": %u, \"ops_per_request\": %u, "
+        "\"requests_per_sec\": %.4f, \"ops_per_sec\": %.4f, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"plan_cache_hits\": %llu, \"plan_keys\": %zu, "
+        "\"plan_arena_mb\": %.2f, \"cores\": %u}\n",
+        kBootSubmitters, kBootRequests, kBootOpsPerRequest, reqPerSec,
+        reqPerSec * kBootOpsPerRequest, pct(0.50), pct(0.99),
+        static_cast<unsigned long long>(planHits), ps.keys.size(),
+        static_cast<double>(ps.reservedBytes) / 1e6, cores);
 }
 
 void
@@ -235,9 +362,9 @@ main(int argc, char **argv)
             reqPerSec, reqPerSec * kOpsPerRequest, r.p50Ms, r.p99Ms,
             static_cast<unsigned long long>(r.planHits),
             ps.keys.size(),
-            static_cast<double>(ps.reservedBytes) / 1e6, cores,
-            i + 1 < rows.size() ? "," : "");
+            static_cast<double>(ps.reservedBytes) / 1e6, cores, ",");
     }
+    writeBootstrapRow(f, cores);
     std::fprintf(f, "]\n");
     std::fclose(f);
     return 0;

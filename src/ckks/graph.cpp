@@ -146,6 +146,11 @@ PlanCache::stats() const
         out.keys.push_back({key, e.hits, e.misses});
         out.hits += e.hits;
         out.misses += e.misses;
+        if (isSegmentOp(key.op)) {
+            ++out.segmentKeys;
+            out.segmentHits += e.hits;
+            out.segmentMisses += e.misses;
+        }
     }
     return out;
 }
@@ -165,13 +170,17 @@ u32
 GraphCapture::slotOf(const RNSPoly &poly)
 {
     const LimbPartition *p = &poly.partition();
-    for (u32 s = 0; s < slots_.size(); ++s)
-        if (slots_[s].pin.get() == p)
-            return s;
+    auto it = slotIndex_.find(p);
+    if (it != slotIndex_.end())
+        return it->second;
     Slot slot;
     slot.pin = poly.partShared();
     slots_.push_back(std::move(slot));
-    return static_cast<u32>(slots_.size() - 1);
+    const u32 s = static_cast<u32>(slots_.size() - 1);
+    // The pin guarantees the partition address is not recycled while
+    // this capture lives, so the identity key stays unambiguous.
+    slotIndex_.emplace(p, s);
+    return s;
 }
 
 GraphCapture::LimbState &
@@ -265,7 +274,7 @@ GraphCapture::finishNode(GraphNode &&node, const Event &ev)
     graph_->nodes.push_back(std::move(node));
     ++graph_->calls.back().numNodes;
     if (ev.valid())
-        eventNodes_.push_back({ev, idx});
+        eventNodes_[ev.identity()] = idx;
 }
 
 void
@@ -315,21 +324,15 @@ GraphCapture::recordNode(u32 streamId, std::size_t lo, std::size_t hi,
     for (const Event &w : extraWaits) {
         if (!w.valid())
             continue;
-        bool found = false;
-        for (const auto &[known, producer] : eventNodes_) {
-            if (known.sameAs(w)) {
-                addEdge(node, producer);
-                found = true;
-                break;
-            }
-        }
-        if (!found) {
+        auto it = eventNodes_.find(w.identity());
+        if (it == eventNodes_.end()) {
             // An event produced outside the graph and outside the Dep
             // model: the plan cannot rebind it, so this op stays
             // uncached.
             invalidate();
             return;
         }
+        addEdge(node, it->second);
     }
 
     // Commit pass, writes before reads (an operand that is both ends
@@ -644,6 +647,11 @@ PlanScope::PlanScope(const Context &ctx, PlanOp op, u32 level,
 {
     if (!ctx.graphEnabled() || ctx.captureSession() ||
         ctx.replaySession())
+        return;
+    // Segment scopes have their own escape hatch: disabled, they stay
+    // inert and the per-op scopes of the inner ops engage instead --
+    // the bit-identical fallback the A/B benches toggle.
+    if (isSegmentOp(op) && !ctx.segmentPlansEnabled())
         return;
     ctx_ = &ctx;
     key_ = PlanKey{op, level + 1, ctx.numDigits(level), aux};

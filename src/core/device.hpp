@@ -150,6 +150,12 @@ class Event
         return st_ == o.st_;
     }
 
+    /** Stable identity token (the shared completion state): hashable
+     *  key for capture-side event -> producer-node maps, where the
+     *  O(nodes) sameAs scan would make composite-segment capture
+     *  quadratic. Null events share the null identity. */
+    const void *identity() const { return st_.get(); }
+
   private:
     friend class Stream;
 

@@ -36,6 +36,8 @@ struct Op
         Rotate,         //!< dst = rotate(reg[a], rot) slots left
         Rescale,        //!< in place: drop reg[a]'s top limb
         MultiplyScalar, //!< in place: reg[a] *= scalar (at Delta)
+        Bootstrap,      //!< dst = bootstrap(reg[a]) (needs a server
+                        //!< configured with a Bootstrapper)
     };
 
     Kind kind;
@@ -92,6 +94,11 @@ class Request
         Op op{Op::Kind::Rotate, 0, checked(a)};
         op.rot = k;
         return record(op);
+    }
+    u32
+    bootstrap(u32 a)
+    {
+        return record({Op::Kind::Bootstrap, 0, checked(a)});
     }
     /** In place on register @p a (no new register). */
     void

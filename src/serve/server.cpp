@@ -3,6 +3,7 @@
 #include <chrono>
 #include <exception>
 
+#include "ckks/bootstrap.hpp"
 #include "ckks/graph.hpp"
 #include "core/logging.hpp"
 
@@ -15,6 +16,13 @@ using Clock = std::chrono::steady_clock;
 
 ckks::Ciphertext
 executeProgram(const ckks::Evaluator &eval, Request req)
+{
+    return executeProgram(eval, nullptr, std::move(req));
+}
+
+ckks::Ciphertext
+executeProgram(const ckks::Evaluator &eval,
+               const ckks::Bootstrapper *boot, Request req)
 {
     std::vector<ckks::Ciphertext> regs = std::move(req.inputs());
     regs.reserve(req.numRegisters());
@@ -40,6 +48,13 @@ executeProgram(const ckks::Evaluator &eval, Request req)
             break;
         case Op::Kind::MultiplyScalar:
             eval.multiplyScalarInPlace(regs[op.a], op.scalar);
+            break;
+        case Op::Kind::Bootstrap:
+            if (boot == nullptr) {
+                fatal("request has a Bootstrap op but no Bootstrapper "
+                      "was configured (Server::Options::bootstrapper)");
+            }
+            regs.push_back(boot->bootstrap(regs[op.a]));
             break;
         }
         FIDES_ASSERT(regs.size() <= req.numRegisters());
@@ -104,7 +119,8 @@ struct Server::Job
 
 Server::Server(const ckks::Context &ctx, const ckks::KeyBundle &keys,
                Options opt)
-    : ctx_(&ctx), keys_(&keys), capacity_(opt.queueCapacity)
+    : ctx_(&ctx), keys_(&keys), boot_(opt.bootstrapper),
+      capacity_(opt.queueCapacity)
 {
     numWorkers_ = opt.submitters ? opt.submitters : 1;
     // Partitioned arenas: every plan stored from now on reserves
@@ -200,7 +216,7 @@ Server::workerLoop(u32 index)
         std::exception_ptr error;
         std::optional<ckks::Ciphertext> result;
         try {
-            result = executeProgram(eval, std::move(job.req));
+            result = executeProgram(eval, boot_, std::move(job.req));
             // The request's one host join: the handle yields a
             // settled ciphertext (ready for serialization/decryption
             // without further waits).

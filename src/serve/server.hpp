@@ -38,15 +38,25 @@
 #include "ckks/evaluator.hpp"
 #include "serve/request.hpp"
 
+namespace fideslib::ckks
+{
+class Bootstrapper;
+}
+
 namespace fideslib::serve
 {
 
 /**
  * Runs @p req's program against @p eval on the calling thread and
  * returns the output register. The server workers use this; tests use
- * it directly for sequential reference runs.
+ * it directly for sequential reference runs. Programs containing a
+ * Bootstrap op need the overload taking a Bootstrapper (the other one
+ * fatals on such ops).
  */
 ckks::Ciphertext executeProgram(const ckks::Evaluator &eval,
+                                Request req);
+ckks::Ciphertext executeProgram(const ckks::Evaluator &eval,
+                                const ckks::Bootstrapper *boot,
                                 Request req);
 
 /**
@@ -94,6 +104,13 @@ class Server
         /** Bounded queue: submit() blocks when this many requests are
          *  waiting (backpressure). 0 = unbounded. */
         std::size_t queueCapacity = 0;
+        /** Enables Bootstrap ops: a shared (thread-safe) engine built
+         *  over the same Context/keys. The caller keeps it alive for
+         *  the server's lifetime. Composite segment plans make this
+         *  practical -- the first bootstrap captures the ladders,
+         *  every later one (any submitter) replays them on its own
+         *  lease. */
+        const ckks::Bootstrapper *bootstrapper = nullptr;
     };
 
     struct Stats
@@ -135,6 +152,7 @@ class Server
 
     const ckks::Context *ctx_;
     const ckks::KeyBundle *keys_;
+    const ckks::Bootstrapper *boot_;
     std::size_t capacity_;
     u32 numWorkers_ = 0; //!< fixed before any thread starts
 

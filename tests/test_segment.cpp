@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Composite segment plan tests (DESIGN.md §1.10): a whole bootstrap
+ * ladder captured as one replayable graph must be a pure dispatch
+ * optimization. Segment-mode replay, per-op-mode replay and the
+ * graphs-off golden run must agree bit-for-bit on ciphertext limbs;
+ * invalidation must drop the composite plans and release their
+ * arenas; and a Bootstrap op must flow through the serve::Server
+ * from concurrent submitters with sequential-identical results (the
+ * ServeBootstrapTest suite runs under TSan in CI via the Serve*
+ * filter; SegmentPlanTest deliberately does not -- it re-runs the
+ * same numeric pipeline three times and would dominate the TSan
+ * budget without adding concurrency coverage).
+ */
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstring>
+#include <vector>
+
+#include "ckks/bootstrap.hpp"
+#include "ckks/encryptor.hpp"
+#include "ckks/graph.hpp"
+#include "ckks/keygen.hpp"
+#include "serve/server.hpp"
+
+namespace fideslib::ckks
+{
+namespace
+{
+
+void
+expectPolyBits(const RNSPoly &want, const RNSPoly &got,
+               const char *what)
+{
+    want.syncHost();
+    got.syncHost();
+    ASSERT_EQ(want.numLimbs(), got.numLimbs()) << what;
+    for (std::size_t i = 0; i < want.numLimbs(); ++i) {
+        ASSERT_EQ(0, std::memcmp(want.limb(i).data(),
+                                 got.limb(i).data(),
+                                 want.limb(i).size() * sizeof(u64)))
+            << what << ": limb " << i << " differs";
+    }
+}
+
+void
+expectBitIdentical(const Ciphertext &want, const Ciphertext &got,
+                   const char *what)
+{
+    expectPolyBits(want.c0, got.c0, what);
+    expectPolyBits(want.c1, got.c1, what);
+    EXPECT_EQ(static_cast<double>(want.scale),
+              static_cast<double>(got.scale))
+        << what;
+}
+
+/** Bootstrap-capable fixture on a non-trivial topology (2 devices x
+ *  2 streams, limbBatch 2), shared across the suite: testBoot key
+ *  generation is the expensive part and every test here wants the
+ *  same ladders. */
+class SegmentPlanTest : public ::testing::Test
+{
+  protected:
+    static constexpr u32 kSlots = 64;
+
+    static void
+    SetUpTestSuite()
+    {
+        Parameters p = Parameters::testBoot();
+        p.numDevices = 2;
+        p.streamsPerDevice = 2;
+        p.limbBatch = 2;
+        ctx = new Context(p);
+        keygen = new KeyGen(*ctx);
+        keys = new KeyBundle(keygen->makeBundle({}, true));
+        eval = new Evaluator(*ctx, *keys);
+        BootstrapConfig cfg;
+        cfg.slots = kSlots;
+        cfg.levelBudgetC2S = 2;
+        cfg.levelBudgetS2C = 2;
+        boot = new Bootstrapper(*eval, cfg);
+        keygen->addRotationKeys(*keys, boot->requiredRotations());
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete boot;
+        delete eval;
+        delete keys;
+        delete keygen;
+        delete ctx;
+        ctx = nullptr;
+    }
+
+    void
+    TearDown() override
+    {
+        // Leave the shared fixture in its default config for the
+        // next test, with a cold cache.
+        ctx->setGraphEnabled(true);
+        ctx->setSegmentPlansEnabled(true);
+        ctx->invalidatePlans();
+    }
+
+    static Ciphertext
+    encryptAtBottom(double seed)
+    {
+        Encoder enc(*ctx);
+        Encryptor encr(*ctx, keys->pk);
+        std::vector<std::complex<double>> z(kSlots);
+        for (u32 i = 0; i < kSlots; ++i)
+            z[i] = {0.4 * std::cos(seed * (i + 1)),
+                    0.4 * std::sin(seed + i)};
+        return encr.encrypt(enc.encode(z, kSlots, 0));
+    }
+
+    static Context *ctx;
+    static KeyGen *keygen;
+    static KeyBundle *keys;
+    static Evaluator *eval;
+    static Bootstrapper *boot;
+};
+
+Context *SegmentPlanTest::ctx = nullptr;
+KeyGen *SegmentPlanTest::keygen = nullptr;
+KeyBundle *SegmentPlanTest::keys = nullptr;
+Evaluator *SegmentPlanTest::eval = nullptr;
+Bootstrapper *SegmentPlanTest::boot = nullptr;
+
+TEST_F(SegmentPlanTest, SegmentReplayMatchesPerOpAndUncached)
+{
+    Ciphertext ct = encryptAtBottom(0.37);
+
+    // Golden: graphs fully off, every kernel dispatched live.
+    ctx->setGraphEnabled(false);
+    Ciphertext golden = boot->bootstrap(ct);
+    golden.syncHost();
+    ctx->setGraphEnabled(true);
+
+    // Segment mode: first pass captures the three ladder graphs,
+    // second pass replays them.
+    Ciphertext segCap = boot->bootstrap(ct);
+    expectBitIdentical(golden, segCap, "segment capture pass");
+    kernels::PlanCacheStats st = ctx->planStats();
+    EXPECT_EQ(st.segmentKeys, 3u)
+        << "C2S, EvalMod and S2C should each be one composite key";
+    EXPECT_EQ(st.segmentHits, 0u);
+
+    Ciphertext segRep = boot->bootstrap(ct);
+    expectBitIdentical(golden, segRep, "segment replay pass");
+    st = ctx->planStats();
+    EXPECT_EQ(st.segmentHits, 3u)
+        << "the second bootstrap must replay all three segments";
+
+    // Per-op mode on the same binary: segments gated off, the inner
+    // ops capture and replay individually.
+    ctx->setSegmentPlansEnabled(false);
+    Ciphertext perOpCap = boot->bootstrap(ct);
+    expectBitIdentical(golden, perOpCap, "per-op capture pass");
+    Ciphertext perOpRep = boot->bootstrap(ct);
+    expectBitIdentical(golden, perOpRep, "per-op replay pass");
+
+    // Both key populations coexist (disjoint PlanOp ranges), and the
+    // composite layer needs far fewer entries.
+    st = ctx->planStats();
+    EXPECT_EQ(st.segmentKeys, 3u);
+    EXPECT_GT(st.keys.size(), st.segmentKeys + 3 * 3)
+        << "per-op mode should store many more keys than segments";
+}
+
+TEST_F(SegmentPlanTest, SegmentsReplayAcrossDistinctCiphertexts)
+{
+    // Replays rebind operand slots by position: a different input
+    // ciphertext must ride the same composite plans and still match
+    // its own golden run.
+    Ciphertext warm = encryptAtBottom(0.11);
+    boot->bootstrap(warm).syncHost(); // capture pass
+    const u64 capturesAfterWarm = ctx->devices().planCaptures();
+
+    Ciphertext ct = encryptAtBottom(0.73);
+    ctx->setGraphEnabled(false);
+    Ciphertext golden = boot->bootstrap(ct);
+    golden.syncHost();
+    ctx->setGraphEnabled(true);
+
+    Ciphertext replayed = boot->bootstrap(ct);
+    expectBitIdentical(golden, replayed, "replay on fresh input");
+    EXPECT_EQ(ctx->devices().planCaptures(), capturesAfterWarm)
+        << "the second input must not trigger new captures";
+}
+
+TEST_F(SegmentPlanTest, InvalidationDropsCompositePlansAndArenas)
+{
+    Ciphertext ct = encryptAtBottom(0.52);
+    Ciphertext before = boot->bootstrap(ct);
+    before.syncHost();
+    ASSERT_EQ(ctx->planStats().segmentKeys, 3u);
+    ASSERT_GT(ctx->planStats().reservedBytes, 0u);
+
+    // A config change that alters kernel decomposition must drop the
+    // composite plans and give the pinned arenas back.
+    const NttSchedule original = ctx->nttSchedule();
+    const NttSchedule other = original == NttSchedule::Flat
+                                  ? NttSchedule::Radix4
+                                  : NttSchedule::Flat;
+    ctx->setNttSchedule(other);
+    EXPECT_EQ(ctx->plans().size(), 0u);
+    EXPECT_EQ(ctx->planStats().reservedBytes, 0u);
+
+    // Recapture under the new schedule; bits must match that
+    // schedule's own graphs-off golden.
+    ctx->setGraphEnabled(false);
+    Ciphertext golden = boot->bootstrap(ct);
+    golden.syncHost();
+    ctx->setGraphEnabled(true);
+    Ciphertext recaptured = boot->bootstrap(ct);
+    expectBitIdentical(golden, recaptured,
+                       "recapture after invalidation");
+    EXPECT_EQ(ctx->planStats().segmentKeys, 3u);
+
+    ctx->setNttSchedule(original);
+}
+
+} // namespace
+} // namespace fideslib::ckks
+
+namespace fideslib::serve
+{
+namespace
+{
+
+using namespace fideslib::ckks;
+
+/** Concurrent bootstrap serving on its own context: 2 devices x 4
+ *  streams so the two submitters hold disjoint leases. */
+class ServeBootstrapTest : public ::testing::Test
+{
+  protected:
+    static constexpr u32 kSlots = 32;
+
+    static void
+    SetUpTestSuite()
+    {
+        Parameters p = Parameters::testBoot();
+        p.numDevices = 2;
+        p.streamsPerDevice = 4;
+        p.limbBatch = 2;
+        ctx = new Context(p);
+        keygen = new KeyGen(*ctx);
+        keys = new KeyBundle(keygen->makeBundle({}, true));
+        eval = new Evaluator(*ctx, *keys);
+        BootstrapConfig cfg;
+        cfg.slots = kSlots;
+        cfg.levelBudgetC2S = 2;
+        cfg.levelBudgetS2C = 2;
+        boot = new Bootstrapper(*eval, cfg);
+        keygen->addRotationKeys(*keys, boot->requiredRotations());
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete boot;
+        delete eval;
+        delete keys;
+        delete keygen;
+        delete ctx;
+        ctx = nullptr;
+    }
+
+    static Ciphertext
+    encryptAtBottom(double seed)
+    {
+        Encoder enc(*ctx);
+        Encryptor encr(*ctx, keys->pk);
+        std::vector<std::complex<double>> z(kSlots);
+        for (u32 i = 0; i < kSlots; ++i)
+            z[i] = {0.4 * std::cos(seed * (i + 1)),
+                    0.4 * std::sin(seed + i)};
+        return encr.encrypt(enc.encode(z, kSlots, 0));
+    }
+
+    /** Refresh-then-compute: the post-bootstrap square exercises the
+     *  restored levels inside the same request. */
+    static Request
+    refreshProgram(double seed)
+    {
+        Request r;
+        u32 a = r.input(encryptAtBottom(seed));
+        u32 fresh = r.bootstrap(a);
+        u32 sq = r.square(fresh);
+        r.rescale(sq);
+        return r;
+    }
+
+    static Context *ctx;
+    static KeyGen *keygen;
+    static KeyBundle *keys;
+    static Evaluator *eval;
+    static Bootstrapper *boot;
+};
+
+Context *ServeBootstrapTest::ctx = nullptr;
+KeyGen *ServeBootstrapTest::keygen = nullptr;
+KeyBundle *ServeBootstrapTest::keys = nullptr;
+Evaluator *ServeBootstrapTest::eval = nullptr;
+Bootstrapper *ServeBootstrapTest::boot = nullptr;
+
+TEST_F(ServeBootstrapTest, ConcurrentBootstrapMatchesSequential)
+{
+    constexpr u32 kRequests = 4;
+    const double seeds[kRequests] = {0.21, 0.43, 0.65, 0.87};
+
+    // Build each request once and clone it for the reference run:
+    // encryption is randomized, so the served program must reuse the
+    // exact input ciphertexts the reference consumed.
+    std::vector<Request> reqs;
+    for (double s : seeds)
+        reqs.push_back(refreshProgram(s));
+
+    // Sequential reference on the client thread (this also captures
+    // the composite plans, so the server's submitters replay).
+    std::vector<Ciphertext> want;
+    for (const Request &r : reqs) {
+        want.push_back(executeProgram(*eval, boot, r.clone()));
+        want.back().syncHost();
+    }
+
+    Server::Options opt;
+    opt.submitters = 2;
+    opt.bootstrapper = boot;
+    Server server(*ctx, *keys, opt);
+    std::vector<Handle> handles;
+    for (Request &r : reqs)
+        handles.push_back(server.submit(std::move(r)));
+    for (u32 i = 0; i < kRequests; ++i) {
+        Ciphertext got = handles[i].get();
+        ckks::expectBitIdentical(want[i], got, "served bootstrap");
+    }
+
+    Server::Stats st = server.stats();
+    EXPECT_EQ(st.accepted, kRequests);
+    EXPECT_EQ(st.completed, kRequests);
+    EXPECT_EQ(st.failed, 0u);
+    EXPECT_GE(ctx->planStats().segmentHits, 3u * kRequests)
+        << "served bootstraps must replay the composite segments";
+}
+
+TEST(ServeBootstrapDeathTest, BootstrapOpWithoutEngineAborts)
+{
+    Context ctx(Parameters::testSmall());
+    KeyGen keygen(ctx);
+    KeyBundle keys = keygen.makeBundle({});
+    Evaluator eval(ctx, keys);
+    Encoder enc(ctx);
+    Encryptor encr(ctx, keys.pk);
+    const u32 slots = static_cast<u32>(ctx.degree() / 2);
+    std::vector<std::complex<double>> z(slots, {0.25, 0.0});
+    Request r;
+    u32 a = r.input(encr.encrypt(enc.encode(z, slots, 0)));
+    r.bootstrap(a);
+    EXPECT_DEATH(executeProgram(eval, std::move(r)),
+                 "no Bootstrapper");
+}
+
+} // namespace
+} // namespace fideslib::serve

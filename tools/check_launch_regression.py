@@ -42,8 +42,21 @@ so a machine needs cores comfortably above that for extra submitters
 to be physically able to add throughput. GitHub's standard runners
 have 4; the bench records its core count in each row.
 
+With a fourth and fifth argument (the committed and fresh
+BENCH_bootstrap.json), the bootstrap gate also runs: the usual
+per-row bands against the committed baseline, plan_keys within the
+coarse TIME_TOLERANCE band (the key set is pipeline-shape-determined,
+so a 2x growth means segment plans silently stopped engaging), a
+plan_cache_hits >= 1 floor on the steady-state Seg/PerOp rows (the
+Baseline-sim row legitimately recaptures after its knob toggles), and
+the structural A/B: each BM_BootstrapSeg row must exercise at least
+BOOT_SEG_FACTOR x fewer plan-cache entries per bootstrap than its
+BM_BootstrapPerOp sibling IN THE SAME FILE -- the headline property
+of composite segment plans (DESIGN.md §1.10), machine-independent by
+construction.
+
 Usage: check_launch_regression.py [--skip-time-gate] BASELINE.json
-       FRESH.json [SERVE.json]
+       FRESH.json [SERVE.json [BOOT_BASELINE.json BOOT_FRESH.json]]
 
 --skip-time-gate drops the wall-clock band (Debug/sanitizer CI legs
 run the launch-economy gate against the Release-committed baseline;
@@ -60,6 +73,7 @@ TOLERANCE = 1.05  # 5% headroom for iteration rounding
 TIME_TOLERANCE = 2.0  # coarse cross-machine wall-clock band
 SERVE_SCALING = 1.3  # multi-submitter ops/s vs 1 submitter
 MIN_SERVE_CORES = 4  # below this, extra submitters cannot add ops/s
+BOOT_SEG_FACTOR = 3.0  # seg vs per-op plan entries per bootstrap
 
 
 def load(path):
@@ -103,20 +117,12 @@ def check_serve(path, failures):
                          SERVE_SCALING))
 
 
-def main():
-    args = [a for a in sys.argv[1:] if a != "--skip-time-gate"]
-    time_gate = "--skip-time-gate" not in sys.argv[1:]
-    if len(args) not in (2, 3):
-        sys.exit(__doc__)
-    baseline = load(args[0])
-    fresh = load(args[1])
-    if not fresh:
-        sys.exit("FAIL: no benchmark rows in " + args[1])
-
-    failures = []
+def check_rows(baseline, fresh, failures, time_gate,
+               min_one=MIN_ONE_COUNTERS):
+    """The per-row bands: floors, structural counters, wall clock."""
     for name, row in sorted(fresh.items()):
         # Floors first: they apply even to rows with no baseline.
-        for counter in MIN_ONE_COUNTERS:
+        for counter in min_one:
             if counter not in row:
                 continue
             got = row[counter]
@@ -149,8 +155,80 @@ def main():
             if verdict == "FAIL":
                 failures.append((name, counter, got, limit))
 
-    if len(args) == 3:
+
+def check_boot(base_path, fresh_path, failures, time_gate):
+    """Bootstrap gate: per-row bands, key-space band, segment A/B."""
+    baseline = load(base_path)
+    fresh = load(fresh_path)
+    if not fresh:
+        sys.exit("FAIL: no benchmark rows in " + fresh_path)
+    # Steady-state rows (Seg/PerOp, marked by plan_entries_per_boot)
+    # keep the replay floor; the Baseline-sim row recaptures after its
+    # knob toggles and legitimately reports 0 hits on one iteration.
+    check_rows(baseline, fresh, failures, time_gate, min_one=())
+    steady = {name: row for name, row in fresh.items()
+              if "plan_entries_per_boot" in row}
+    for name, row in sorted(steady.items()):
+        got = row.get("plan_cache_hits", 0)
+        verdict = "OK  " if got >= 1 else "FAIL"
+        print(f"{verdict} {name} plan_cache_hits: {got:.2f} (floor 1)")
+        if verdict == "FAIL":
+            failures.append((name, "plan_cache_hits", got, 1))
+    # plan_keys: the key set is determined by the pipeline shape, not
+    # the machine, but gets the coarse band so an extra helper plan
+    # does not break CI -- segments silently disengaging (a ~8x key
+    # explosion on the Seg rows) still does.
+    for name, row in sorted(fresh.items()):
+        base = baseline.get(name)
+        if base is None or "plan_keys" not in row \
+                or "plan_keys" not in base:
+            continue
+        got, want = row["plan_keys"], base["plan_keys"]
+        limit = want * TIME_TOLERANCE
+        verdict = "OK  " if got <= limit else "FAIL"
+        print(f"{verdict} {name} plan_keys: {got:.0f} "
+              f"(baseline {want:.0f}, band {TIME_TOLERANCE}x)")
+        if verdict == "FAIL":
+            failures.append((name, "plan_keys", got, limit))
+    # Segment A/B within the fresh file: composite plans must collapse
+    # the per-bootstrap plan-entry count, whatever the machine.
+    for name, seg in sorted(steady.items()):
+        if "BM_BootstrapSeg/" not in name:
+            continue
+        sibling = name.replace("BM_BootstrapSeg/", "BM_BootstrapPerOp/")
+        per = steady.get(sibling)
+        if per is None:
+            print(f"NEW  {name}: no per-op sibling row, skipping A/B")
+            continue
+        s = seg["plan_entries_per_boot"]
+        p = per["plan_entries_per_boot"]
+        ratio = p / s if s else float("inf")
+        verdict = "OK  " if ratio >= BOOT_SEG_FACTOR else "FAIL"
+        print(f"{verdict} {name} segment A/B: {s:.0f} entries/boot "
+              f"vs {p:.0f} per-op ({ratio:.1f}x, "
+              f"floor {BOOT_SEG_FACTOR}x)")
+        if verdict == "FAIL":
+            failures.append((name, "seg/per-op plan entries", ratio,
+                             BOOT_SEG_FACTOR))
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--skip-time-gate"]
+    time_gate = "--skip-time-gate" not in sys.argv[1:]
+    if len(args) not in (2, 3, 5):
+        sys.exit(__doc__)
+    baseline = load(args[0])
+    fresh = load(args[1])
+    if not fresh:
+        sys.exit("FAIL: no benchmark rows in " + args[1])
+
+    failures = []
+    check_rows(baseline, fresh, failures, time_gate)
+
+    if len(args) >= 3:
         check_serve(args[2], failures)
+    if len(args) == 5:
+        check_boot(args[3], args[4], failures, time_gate)
 
     if failures:
         sys.exit(f"FAIL: {len(failures)} launch-economy regression(s) "
