@@ -45,6 +45,7 @@
 
 #include "bench_common.hpp"
 
+#include "check/check.hpp"
 #include "ckks/graph.hpp"
 
 namespace
@@ -139,6 +140,38 @@ BM_HMultLimbBatch(benchmark::State &state)
             static_cast<double>(static_cast<u32>(top.choice.fwd));
         state.counters["ntt_inv_variant"] =
             static_cast<double>(static_cast<u32>(top.choice.inv));
+    }
+    // Hazard-validator overhead observability (check/check.hpp,
+    // DESIGN.md §1.11): the same replayed multiply timed with the
+    // validator on (Report mode) and off, back to back. Both ns/op
+    // land in the trajectory, so the cost of a checked run -- and any
+    // creep in the cost of the DISABLED hooks, which is the number
+    // the <2% always-compiled-in budget gates on -- stays visible
+    // across commits.
+    {
+        auto timedOp = [&](int iters) {
+            const auto t0 = std::chrono::steady_clock::now();
+            for (int i = 0; i < iters; ++i) {
+                auto r = b.eval->multiply(a, c);
+                benchmark::DoNotOptimize(r.c0.limb(0).data());
+                b.ctx->devices().synchronize();
+            }
+            return std::chrono::duration<double, std::nano>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count() /
+                   iters;
+        };
+        constexpr int kOverheadIters = 20;
+        timedOp(2); // warm
+        const double offNs = timedOp(kOverheadIters);
+        Context::setValidation(check::Mode::Report);
+        const double onNs = timedOp(kOverheadIters);
+        Context::setValidation(check::Mode::Off);
+        // Drop the shadow state the measured ops accumulated: the
+        // validator stays off for the rest of the process.
+        check::onTeardown();
+        state.counters["validate_off_ns_per_op"] = offNs;
+        state.counters["validate_on_ns_per_op"] = onNs;
     }
     b.ctx->devices().setLaunchOverheadNs(0);
     b.ctx->setLimbBatch(benchParams().limbBatch);

@@ -74,6 +74,26 @@ struct ConvLaunch
     std::vector<u32> targets;
 };
 
+/** One limb-buffer access of a Conv launch, for the validator. */
+struct ConvAccess
+{
+    const void *buf;
+    u32 limb;
+};
+
+/** Reports a Conv launch's access set against @p rec (no-op when
+ *  validation is off: @p rec is null). */
+void
+noteConvAccesses(const std::shared_ptr<check::LaunchRecord> &rec,
+                 const std::vector<ConvAccess> &reads,
+                 const std::vector<ConvAccess> &writes)
+{
+    for (const ConvAccess &a : reads)
+        check::noteAccess(rec, a.buf, a.limb, false);
+    for (const ConvAccess &a : writes)
+        check::noteAccess(rec, a.buf, a.limb, true);
+}
+
 /**
  * Dispatches the Conv matrix product stream-ordered: one launch per
  * device that owns target limbs, each reading all (peer-accessible)
@@ -117,6 +137,30 @@ dispatchConvert(const Context &ctx, const ConvTables &tables,
     else if (capture)
         capture->beginCustomCall(&srcPoly, dstPoly);
 
+    // Validator wiring: convertTargets works on raw pointers, so each
+    // launch reports its exact access set explicitly (body-time, via
+    // noteAccess) instead of instrumenting the body. Source limbs are
+    // shared by every launch; the written target limbs are per-launch
+    // (empty when the targets are host scratch).
+    check::ScopedLabel lbl("conv");
+    auto convReads = std::make_shared<std::vector<ConvAccess>>();
+    if (check::enabled()) {
+        const LimbPartition &p = srcPoly.partition();
+        for (u32 pos : srcPos)
+            convReads->push_back({p[pos].data(), p[pos].primeIdx()});
+    }
+    auto writeAccesses = [&](const std::vector<u32> &sel) {
+        auto w = std::make_shared<std::vector<ConvAccess>>();
+        if (check::enabled() && dstPoly && !dstPos.empty()) {
+            const LimbPartition &p = dstPoly->partition();
+            for (u32 t : sel) {
+                const Limb &l = p[dstPos[t]];
+                w->push_back({l.data(), l.primeIdx()});
+            }
+        }
+        return w;
+    };
+
     // The write positions of one launch: the dstPos entries its
     // target selection covers (empty for host-scratch targets).
     auto writePositions = [&dstPos](const std::vector<u32> &sel) {
@@ -145,13 +189,25 @@ dispatchConvert(const Context &ctx, const ConvTables &tables,
         if (replay) {
             Stream *st = replay->customNode(br, bw, ops);
             if (!st) {
+                auto rec = check::enabled()
+                               ? check::beginLaunch(nullptr, {})
+                               : nullptr;
                 convertTargets(ctx, tables, src, dst, sel);
+                if (rec)
+                    noteConvAccesses(rec, *convReads,
+                                     *writeAccesses(sel));
                 continue;
             }
+            auto rec = check::enabled() ? check::beginLaunch(st, {})
+                                        : nullptr;
+            auto wAcc = writeAccesses(sel);
             std::vector<u32> selCopy = sel;
             st->submit([&ctx, &tables, src, dst,
-                        sel = std::move(selCopy), keep] {
+                        sel = std::move(selCopy), keep, rec, convReads,
+                        wAcc] {
                 convertTargets(ctx, tables, src, dst, sel);
+                if (rec)
+                    noteConvAccesses(rec, *convReads, *wAcc);
             });
             Event ev = st->record();
             replay->noteCustomEvent(ev);
@@ -166,15 +222,27 @@ dispatchConvert(const Context &ctx, const ConvTables &tables,
                                           writePositions(sel),
                                           Event());
             }
+            auto rec = check::enabled()
+                           ? check::beginLaunch(nullptr, {})
+                           : nullptr;
             convertTargets(ctx, tables, src, dst, sel);
+            if (rec)
+                noteConvAccesses(rec, *convReads, *writeAccesses(sel));
             continue;
         }
         Stream &st = leased.streamOfDevice(d, rr[d]++);
         for (const Event &e : srcWaits)
             st.wait(e);
+        auto rec = check::enabled() ? check::beginLaunch(&st, {})
+                                    : nullptr;
+        auto wAcc = writeAccesses(sel);
         std::vector<u32> selCopy = sel;
         st.submit([&ctx, &tables, src, dst, sel = std::move(selCopy),
-                   keep] { convertTargets(ctx, tables, src, dst, sel); });
+                   keep, rec, convReads, wAcc] {
+            convertTargets(ctx, tables, src, dst, sel);
+            if (rec)
+                noteConvAccesses(rec, *convReads, *wAcc);
+        });
         Event ev = st.record();
         if (capture) {
             capture->recordCustomNode(st.id(), br, bw, ops, srcPos,
@@ -215,6 +283,7 @@ convert(const Context &ctx, const std::vector<const u64 *> &src,
 RNSPoly
 modUpDigit(const RNSPoly &coeffPoly, u32 digit)
 {
+    check::ScopedLabel lbl("modUpDigit");
     const Context &ctx = coeffPoly.context();
     FIDES_ASSERT(coeffPoly.format() == Format::Coeff);
     const u32 level = coeffPoly.level();
@@ -235,7 +304,7 @@ modUpDigit(const RNSPoly &coeffPoly, u32 digit)
                         [&op, &sp, n, srcLo](std::size_t lo,
                                              std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            std::memcpy(op[srcLo + i].data(), sp[srcLo + i].data(),
+            std::memcpy(op[srcLo + i].write(), sp[srcLo + i].read(),
                         n * sizeof(u64));
         }
     }, [&sp, srcLo](std::size_t i) {
@@ -277,6 +346,7 @@ modUpDigit(const RNSPoly &coeffPoly, u32 digit)
 void
 modDown(RNSPoly &a)
 {
+    check::ScopedLabel lbl("modDown");
     const Context &ctx = a.context();
     FIDES_ASSERT(a.format() == Format::Eval);
     FIDES_ASSERT(a.numSpecial() == ctx.numSpecial());
@@ -293,7 +363,7 @@ modDown(RNSPoly &a)
                                               std::size_t hi) {
         for (std::size_t k = lo; k < hi; ++k) {
             Limb &l = ap[level + 1 + k];
-            kernels::inttLimb(ctx, l.data(), l.primeIdx(), K);
+            kernels::inttLimb(ctx, l.write(), l.primeIdx(), K);
         }
     }, [&ap, level](std::size_t k) {
         return ap[level + 1 + k].primeIdx();
@@ -352,6 +422,7 @@ modDown(RNSPoly &a)
 void
 rescale(RNSPoly &a)
 {
+    check::ScopedLabel lbl("rescale");
     const Context &ctx = a.context();
     FIDES_ASSERT(a.format() == Format::Eval);
     FIDES_ASSERT(a.numSpecial() == 0);
@@ -369,7 +440,7 @@ rescale(RNSPoly &a)
                         5 * n * ctx.logDegree(),
                         [&ctx, &ap, last, l, n](std::size_t,
                                                 std::size_t) {
-        std::memcpy(last->data(), ap[l].data(), n * sizeof(u64));
+        std::memcpy(last->data(), ap[l].read(), n * sizeof(u64));
         kernels::inttLimb(ctx, last->data(), ap[l].primeIdx());
     }, [&ap, l](std::size_t) { return ap[l].primeIdx(); },
        {kernels::rdFixed(a, l)}, {}, &lastDone);
@@ -399,6 +470,7 @@ rescale(RNSPoly &a)
 RNSPoly
 modRaise(const RNSPoly &a, u32 newLevel)
 {
+    check::ScopedLabel lbl("modRaise");
     const Context &ctx = a.context();
     FIDES_ASSERT(a.format() == Format::Coeff);
     FIDES_ASSERT(a.level() == 0);
@@ -416,11 +488,11 @@ modRaise(const RNSPoly &a, u32 newLevel)
                                                 std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
             if (i == 0) {
-                std::memcpy(op[0].data(), ip[0].data(),
+                std::memcpy(op[0].write(), ip[0].read(),
                             n * sizeof(u64));
             } else {
-                kernels::switchModulusLimb(ctx, ip[0].data(), q0,
-                                           op[i].data(),
+                kernels::switchModulusLimb(ctx, ip[0].read(), q0,
+                                           op[i].write(),
                                            static_cast<u32>(i));
             }
         }

@@ -118,6 +118,19 @@ Context::Context(const Parameters &params)
         else
             warn("ignoring unrecognized FIDES_NTT_SCHEDULE=%s", env);
     }
+    // Hazard-validator escape hatch (check/check.hpp): FIDES_VALIDATE
+    // turns the racecheck/declcheck/initcheck layer on for any
+    // existing binary, before the DeviceSet below exists so the pool's
+    // very first allocations are shadowed.
+    if (const char *env = std::getenv("FIDES_VALIDATE")) {
+        const std::string v(env);
+        if (v == "0" || v == "off")
+            check::setMode(check::Mode::Off);
+        else if (v == "report" || v == "warn")
+            check::setMode(check::Mode::Report);
+        else
+            check::setMode(check::Mode::Fatal);
+    }
     // After validate(): bad topology values are user errors, not
     // DeviceSet invariant violations.
     devices_ = std::make_unique<DeviceSet>(params_.numDevices,
@@ -200,6 +213,17 @@ Context::setThreadLease(const StreamLease *lease) const
 {
     tExec.leaseCtx = lease ? this : nullptr;
     tExec.lease = lease;
+    if (check::enabled()) {
+        if (lease) {
+            std::vector<const Stream *> allowed;
+            allowed.reserve(lease->numStreams());
+            for (u32 i = 0; i < lease->numStreams(); ++i)
+                allowed.push_back(&lease->stream(i));
+            check::setThreadLease(allowed.data(), allowed.size());
+        } else {
+            check::setThreadLease(nullptr, 0);
+        }
+    }
 }
 
 void

@@ -257,6 +257,20 @@ class Context
         modMul_ = k;
     }
 
+    // Hazard validator (check/check.hpp). -----------------------------
+    /**
+     * Sets the hazard-validation mode: the racecheck / declcheck /
+     * initcheck / lifetime layer over the stream/event/plan stack
+     * (DESIGN.md §1.11). Fatal panics on the first finding; Report
+     * logs and counts. Process-wide -- the validator watches the
+     * execution layer itself, not one context -- but kept here, next
+     * to the other execution knobs, for discoverability. Also set at
+     * Context construction from FIDES_VALIDATE ("report" = Report,
+     * "0"/"off" = Off, anything else = Fatal).
+     */
+    static void setValidation(check::Mode m) { check::setMode(m); }
+    static check::Mode validation() { return check::mode(); }
+
     // Capture-and-replay plan cache (graph.hpp). ----------------------
     /** False when the FIDES_NO_GRAPH environment variable is set (the
      *  escape hatch) or setGraphEnabled(false) was called: every op

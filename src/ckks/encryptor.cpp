@@ -59,7 +59,6 @@ Encryptor::encrypt(const Plaintext &pt) const
 Plaintext
 Encryptor::decrypt(const Ciphertext &ct, const SecretKey &sk) const
 {
-    const Context &ctx = *ctx_;
     FIDES_ASSERT(ct.c0.format() == Format::Eval);
 
     RNSPoly m = ct.c1.clone();

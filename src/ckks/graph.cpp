@@ -2,6 +2,7 @@
 
 #include <exception>
 
+#include "check/check.hpp"
 #include "core/logging.hpp"
 
 namespace fideslib::ckks::kernels
@@ -20,6 +21,25 @@ depLimbRange(const Dep &d, std::size_t lo, std::size_t hi)
     if (d.fixed)
         return {d.offset, d.offset + 1};
     return {d.offset + lo, d.offset + hi};
+}
+
+/** The declared limb accesses of one replayed batch, resolved against
+ *  the freshly bound operands -- the validator's declcheck input, and
+ *  the replay audit: a replayed launch is held to the same declared
+ *  set as the live launch it was captured from. */
+std::vector<check::DeclaredAccess>
+declaredAccesses(const std::vector<Dep> &deps, std::size_t lo,
+                 std::size_t hi)
+{
+    std::vector<check::DeclaredAccess> out;
+    for (const Dep &d : deps) {
+        const auto [b, e] = depLimbRange(d, lo, hi);
+        const LimbPartition &p = d.poly->partition();
+        for (std::size_t i = b; i < e; ++i)
+            out.push_back({p[i].data(), p[i].primeIdx(),
+                           d.mode == Access::Write});
+    }
+    return out;
 }
 
 /**
@@ -509,7 +529,12 @@ GraphReplay::enqueueWaits(Stream &st, const GraphNode &node)
     }
     // One combined waiter task instead of one per event: the stream
     // cannot proceed until all have signalled either way, and the
-    // queue traffic per node drops to a single submission.
+    // queue traffic per node drops to a single submission. The
+    // combined task bypasses Stream::wait, so the happens-before
+    // edges it creates are reported to the validator explicitly.
+    if (check::enabled())
+        for (const Event &e : waits)
+            check::onStreamWait(&st, e);
     st.submit([waits = std::move(waits)] {
         for (const Event &e : waits)
             e.synchronize();
@@ -542,7 +567,13 @@ GraphReplay::replayCall(
                 .launchReplayed((node.hi - node.lo) * bytesReadPerLimb,
                                 (node.hi - node.lo) * bytesWrittenPerLimb,
                                 (node.hi - node.lo) * intOpsPerLimb);
-            fn(node.lo, node.hi);
+            if (check::enabled()) {
+                check::BodyScope scope(check::beginLaunch(
+                    nullptr, declaredAccesses(deps, node.lo, node.hi)));
+                fn(node.lo, node.hi);
+            } else {
+                fn(node.lo, node.hi);
+            }
         }
         return;
     }
@@ -578,7 +609,16 @@ GraphReplay::replayCall(
             (node.hi - node.lo) * intOpsPerLimb);
         enqueueWaits(st, node);
         const std::size_t lo = node.lo, hi = node.hi;
-        st.submit([payload, lo, hi] { payload->body(lo, hi); });
+        if (check::enabled()) {
+            auto rec = check::beginLaunch(
+                &st, declaredAccesses(deps, lo, hi));
+            st.submit([payload, rec, lo, hi] {
+                check::BodyScope scope(rec);
+                payload->body(lo, hi);
+            });
+        } else {
+            st.submit([payload, lo, hi] { payload->body(lo, hi); });
+        }
         if (node.observed || recorded) {
             Event ev = st.record();
             nodeEvents_[idx] = ev;

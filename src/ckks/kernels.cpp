@@ -51,6 +51,26 @@ depRange(const Dep &d, std::size_t lo, std::size_t hi)
     return {d.offset + lo, d.offset + hi};
 }
 
+/** The validator's view of one batch's declared Dep list: the actual
+ *  limb buffers [lo, hi) resolves to. Only built when validation is
+ *  on. */
+std::vector<check::DeclaredAccess>
+declaredAccesses(const std::vector<Dep> &deps, std::size_t lo,
+                 std::size_t hi)
+{
+    std::vector<check::DeclaredAccess> out;
+    for (const Dep &d : deps) {
+        const LimbPartition &p = d.poly->partition();
+        auto [b, e] = depRange(d, lo, hi);
+        for (std::size_t i = b; i < e; ++i) {
+            const Limb &l = p[i];
+            out.push_back({l.data(), l.primeIdx(),
+                           d.mode == Access::Write});
+        }
+    }
+    return out;
+}
+
 /**
  * Enqueues on @p st the stream-side waits batch [lo, hi) needs:
  * writers wait on the last writer and all in-flight readers of each
@@ -174,7 +194,13 @@ forBatches(const Context &ctx, std::size_t numLimbs,
                                     (hi - lo) * intOpsPerLimb, deps,
                                     extraWaits, Event());
             }
-            fn(lo, hi);
+            if (check::enabled()) {
+                check::BodyScope scope(check::beginLaunch(
+                    nullptr, declaredAccesses(deps, lo, hi)));
+                fn(lo, hi);
+            } else {
+                fn(lo, hi);
+            }
         }
         return;
     }
@@ -201,7 +227,20 @@ forBatches(const Context &ctx, std::size_t numLimbs,
                            (hi - lo) * bytesWrittenPerLimb,
                            (hi - lo) * intOpsPerLimb);
         waitHazards(st, deps, extraWaits, lo, hi);
-        st.submit([body, keep, lo, hi] { (*body)(lo, hi); });
+        if (check::enabled()) {
+            // Registered after the hazard waits so the launch clock
+            // includes the edges they established; the record rides
+            // along in the task so the worker-side body accesses are
+            // attributed to this launch.
+            auto rec = check::beginLaunch(
+                &st, declaredAccesses(deps, lo, hi));
+            st.submit([body, keep, rec, lo, hi] {
+                check::BodyScope scope(rec);
+                (*body)(lo, hi);
+            });
+        } else {
+            st.submit([body, keep, lo, hi] { (*body)(lo, hi); });
+        }
         Event ev = st.record();
         noteBatch(deps, lo, hi, ev);
         if (capture) {
@@ -254,6 +293,7 @@ forBatches(const Context &ctx, std::size_t numLimbs,
 void
 addInto(RNSPoly &a, const RNSPoly &b)
 {
+    check::ScopedLabel lbl("addInto");
     FIDES_ASSERT(a.numLimbs() <= b.numLimbs());
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
@@ -264,8 +304,8 @@ addInto(RNSPoly &a, const RNSPoly &b)
         for (std::size_t i = lo; i < hi; ++i) {
             FIDES_ASSERT(ap[i].primeIdx() == bp[i].primeIdx());
             u64 p = ctx.prime(ap[i].primeIdx()).value();
-            u64 *x = ap[i].data();
-            const u64 *y = bp[i].data();
+            u64 *x = ap[i].write();
+            const u64 *y = bp[i].read();
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = addMod(x[j], y[j], p);
         }
@@ -276,6 +316,7 @@ addInto(RNSPoly &a, const RNSPoly &b)
 void
 subInto(RNSPoly &a, const RNSPoly &b)
 {
+    check::ScopedLabel lbl("subInto");
     FIDES_ASSERT(a.numLimbs() <= b.numLimbs());
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
@@ -286,8 +327,8 @@ subInto(RNSPoly &a, const RNSPoly &b)
         for (std::size_t i = lo; i < hi; ++i) {
             FIDES_ASSERT(ap[i].primeIdx() == bp[i].primeIdx());
             u64 p = ctx.prime(ap[i].primeIdx()).value();
-            u64 *x = ap[i].data();
-            const u64 *y = bp[i].data();
+            u64 *x = ap[i].write();
+            const u64 *y = bp[i].read();
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = subMod(x[j], y[j], p);
         }
@@ -298,6 +339,7 @@ subInto(RNSPoly &a, const RNSPoly &b)
 void
 negate(RNSPoly &a)
 {
+    check::ScopedLabel lbl("negate");
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
     LimbPartition &ap = a.partition();
@@ -305,7 +347,7 @@ negate(RNSPoly &a)
                [&ctx, &ap, n](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
             u64 p = ctx.prime(ap[i].primeIdx()).value();
-            u64 *x = ap[i].data();
+            u64 *x = ap[i].write();
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = negMod(x[j], p);
         }
@@ -315,6 +357,7 @@ negate(RNSPoly &a)
 void
 mulInto(RNSPoly &a, const RNSPoly &b)
 {
+    check::ScopedLabel lbl("mulInto");
     FIDES_ASSERT(a.format() == Format::Eval &&
                  b.format() == Format::Eval);
     FIDES_ASSERT(a.numLimbs() <= b.numLimbs());
@@ -327,8 +370,8 @@ mulInto(RNSPoly &a, const RNSPoly &b)
         for (std::size_t i = lo; i < hi; ++i) {
             FIDES_ASSERT(ap[i].primeIdx() == bp[i].primeIdx());
             const Modulus &m = ctx.prime(ap[i].primeIdx()).mod;
-            mulSpan(ctx, ap[i].data(), ap[i].data(), bp[i].data(), n,
-                    m);
+            u64 *x = ap[i].write();
+            mulSpan(ctx, x, x, bp[i].read(), n, m);
         }
     }, [&ap](std::size_t i) { return ap[i].primeIdx(); },
        {wr(a), rd(b)});
@@ -337,6 +380,7 @@ mulInto(RNSPoly &a, const RNSPoly &b)
 void
 mul(RNSPoly &out, const RNSPoly &a, const RNSPoly &b)
 {
+    check::ScopedLabel lbl("mul");
     FIDES_ASSERT(a.format() == Format::Eval &&
                  b.format() == Format::Eval);
     FIDES_ASSERT(out.numLimbs() <= a.numLimbs() &&
@@ -352,7 +396,7 @@ mul(RNSPoly &out, const RNSPoly &a, const RNSPoly &b)
                                         std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
             const Modulus &m = ctx.prime(op[i].primeIdx()).mod;
-            mulSpan(ctx, op[i].data(), ap[i].data(), bp[i].data(), n,
+            mulSpan(ctx, op[i].write(), ap[i].read(), bp[i].read(), n,
                     m);
         }
     }, [&op](std::size_t i) { return op[i].primeIdx(); },
@@ -362,6 +406,7 @@ mul(RNSPoly &out, const RNSPoly &a, const RNSPoly &b)
 void
 mulAddInto(RNSPoly &acc, const RNSPoly &a, const RNSPoly &b)
 {
+    check::ScopedLabel lbl("mulAddInto");
     FIDES_ASSERT(a.format() == Format::Eval &&
                  b.format() == Format::Eval);
     FIDES_ASSERT(acc.numLimbs() <= a.numLimbs() &&
@@ -376,7 +421,7 @@ mulAddInto(RNSPoly &acc, const RNSPoly &a, const RNSPoly &b)
                                         std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
             const Modulus &m = ctx.prime(cp[i].primeIdx()).mod;
-            mulAddSpan(ctx, cp[i].data(), ap[i].data(), bp[i].data(),
+            mulAddSpan(ctx, cp[i].write(), ap[i].read(), bp[i].read(),
                        n, m);
         }
     }, [&cp](std::size_t i) { return cp[i].primeIdx(); },
@@ -386,6 +431,7 @@ mulAddInto(RNSPoly &acc, const RNSPoly &a, const RNSPoly &b)
 void
 scalarMulInto(RNSPoly &a, const std::vector<u64> &scalar)
 {
+    check::ScopedLabel lbl("scalarMulInto");
     FIDES_ASSERT(scalar.size() >= a.numLimbs());
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
@@ -397,7 +443,7 @@ scalarMulInto(RNSPoly &a, const std::vector<u64> &scalar)
             u64 p = ctx.prime(ap[i].primeIdx()).value();
             u64 w = scalar[i];
             u64 ws = shoupPrecompute(w, p);
-            u64 *x = ap[i].data();
+            u64 *x = ap[i].write();
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = mulModShoup(x[j], w, ws, p);
         }
@@ -407,6 +453,7 @@ scalarMulInto(RNSPoly &a, const std::vector<u64> &scalar)
 void
 scalarAddInto(RNSPoly &a, const std::vector<u64> &scalar)
 {
+    check::ScopedLabel lbl("scalarAddInto");
     FIDES_ASSERT(scalar.size() >= a.numLimbs());
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
@@ -416,7 +463,7 @@ scalarAddInto(RNSPoly &a, const std::vector<u64> &scalar)
         for (std::size_t i = lo; i < hi; ++i) {
             u64 p = ctx.prime(ap[i].primeIdx()).value();
             u64 c = scalar[i];
-            u64 *x = ap[i].data();
+            u64 *x = ap[i].write();
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = addMod(x[j], c, p);
         }
@@ -426,6 +473,7 @@ scalarAddInto(RNSPoly &a, const std::vector<u64> &scalar)
 void
 scalarSubFrom(RNSPoly &a, const std::vector<u64> &scalar)
 {
+    check::ScopedLabel lbl("scalarSubFrom");
     FIDES_ASSERT(scalar.size() >= a.numLimbs());
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
@@ -435,7 +483,7 @@ scalarSubFrom(RNSPoly &a, const std::vector<u64> &scalar)
         for (std::size_t i = lo; i < hi; ++i) {
             u64 p = ctx.prime(ap[i].primeIdx()).value();
             u64 c = scalar[i];
-            u64 *x = ap[i].data();
+            u64 *x = ap[i].write();
             for (std::size_t j = 0; j < n; ++j)
                 x[j] = subMod(c, x[j], p);
         }
@@ -487,6 +535,7 @@ nttPassesPerLimb(const Context &ctx, NttVariant v)
 void
 toEval(RNSPoly &a)
 {
+    check::ScopedLabel lbl("toEval");
     FIDES_ASSERT(a.format() == Format::Coeff);
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
@@ -500,7 +549,7 @@ toEval(RNSPoly &a)
                passes * n * kWord, 5 * n * logN,
                [&ctx, &ap, c](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
-            nttForwardVariant(ap[i].data(),
+            nttForwardVariant(ap[i].write(),
                               *ctx.prime(ap[i].primeIdx()).ntt,
                               c.fwd, c.fwdColBlock);
     }, [&ap](std::size_t i) { return ap[i].primeIdx(); }, {wr(a)});
@@ -510,6 +559,7 @@ toEval(RNSPoly &a)
 void
 toCoeff(RNSPoly &a)
 {
+    check::ScopedLabel lbl("toCoeff");
     FIDES_ASSERT(a.format() == Format::Eval);
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
@@ -522,7 +572,7 @@ toCoeff(RNSPoly &a)
                passes * n * kWord, 5 * n * logN,
                [&ctx, &ap, c](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
-            nttInverseVariant(ap[i].data(),
+            nttInverseVariant(ap[i].write(),
                               *ctx.prime(ap[i].primeIdx()).ntt,
                               c.inv, c.invColBlock);
     }, [&ap](std::size_t i) { return ap[i].primeIdx(); }, {wr(a)});
@@ -532,6 +582,7 @@ toCoeff(RNSPoly &a)
 void
 automorph(RNSPoly &out, const RNSPoly &in, const std::vector<u32> &perm)
 {
+    check::ScopedLabel lbl("automorph");
     FIDES_ASSERT(in.format() == Format::Eval);
     FIDES_ASSERT(out.numLimbs() == in.numLimbs());
     const auto &ctx = in.context();
@@ -544,8 +595,8 @@ automorph(RNSPoly &out, const RNSPoly &in, const std::vector<u32> &perm)
     forBatches(ctx, in.numLimbs(), n * kWord, n * kWord, 0,
                [&op, &ip, pm, n](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
-            const u64 *src = ip[i].data();
-            u64 *dst = op[i].data();
+            const u64 *src = ip[i].read();
+            u64 *dst = op[i].write();
             for (std::size_t j = 0; j < n; ++j)
                 dst[j] = src[pm[j]];
         }
@@ -556,6 +607,7 @@ automorph(RNSPoly &out, const RNSPoly &in, const std::vector<u32> &perm)
 void
 mulByMonomial(RNSPoly &a, u64 k)
 {
+    check::ScopedLabel lbl("mulByMonomial");
     FIDES_ASSERT(a.format() == Format::Coeff);
     const auto &ctx = a.context();
     const std::size_t n = ctx.degree();
@@ -569,7 +621,7 @@ mulByMonomial(RNSPoly &a, u64 k)
         std::vector<u64> tmp(n);
         for (std::size_t i = lo; i < hi; ++i) {
             u64 p = ctx.prime(ap[i].primeIdx()).value();
-            u64 *x = ap[i].data();
+            u64 *x = ap[i].write();
             // X^j * X^k = sign * X^((j+k) mod n), negacyclic wrap.
             for (std::size_t j = 0; j < n; ++j) {
                 std::size_t jj = j + static_cast<std::size_t>(k);
@@ -711,28 +763,28 @@ runOpOnLimb(const Context &ctx, const FusedChain::Op &op,
     switch (op.kind) {
     case Kind::Mul: {
         const Modulus &m = ctx.prime((*op.out)[i].primeIdx()).mod;
-        mulSpan(ctx, (*op.out)[i].data(), (*op.a)[i].data(),
-                (*op.b)[i].data(), n, m);
+        mulSpan(ctx, (*op.out)[i].write(), (*op.a)[i].read(),
+                (*op.b)[i].read(), n, m);
         break;
     }
     case Kind::MulAdd: {
         const Modulus &m = ctx.prime((*op.out)[i].primeIdx()).mod;
-        mulAddSpan(ctx, (*op.out)[i].data(), (*op.a)[i].data(),
-                   (*op.b)[i].data(), n, m);
+        mulAddSpan(ctx, (*op.out)[i].write(), (*op.a)[i].read(),
+                   (*op.b)[i].read(), n, m);
         break;
     }
     case Kind::Add: {
         const u64 p = ctx.prime((*op.out)[i].primeIdx()).value();
-        u64 *x = (*op.out)[i].data();
-        const u64 *y = (*op.b)[i].data();
+        u64 *x = (*op.out)[i].write();
+        const u64 *y = (*op.b)[i].read();
         for (std::size_t j = 0; j < n; ++j)
             x[j] = addMod(x[j], y[j], p);
         break;
     }
     case Kind::Sub: {
         const u64 p = ctx.prime((*op.out)[i].primeIdx()).value();
-        u64 *x = (*op.out)[i].data();
-        const u64 *y = (*op.b)[i].data();
+        u64 *x = (*op.out)[i].write();
+        const u64 *y = (*op.b)[i].read();
         for (std::size_t j = 0; j < n; ++j)
             x[j] = subMod(x[j], y[j], p);
         break;
@@ -741,14 +793,14 @@ runOpOnLimb(const Context &ctx, const FusedChain::Op &op,
         const u64 p = ctx.prime((*op.out)[i].primeIdx()).value();
         const u64 w = op.s0[i];
         const u64 ws = shoupPrecompute(w, p);
-        u64 *x = (*op.out)[i].data();
+        u64 *x = (*op.out)[i].write();
         for (std::size_t j = 0; j < n; ++j)
             x[j] = mulModShoup(x[j], w, ws, p);
         break;
     }
     case Kind::Gather: {
-        const u64 *src = (*op.a)[i].data();
-        u64 *dst = (*op.out)[i].data();
+        const u64 *src = (*op.a)[i].read();
+        u64 *dst = (*op.out)[i].write();
         for (std::size_t j = 0; j < n; ++j)
             dst[j] = src[op.perm[j]];
         break;
@@ -759,9 +811,9 @@ runOpOnLimb(const Context &ctx, const FusedChain::Op &op,
         // the global index, so the key is indexed by gi directly.
         const u32 gi = (*op.out)[i].primeIdx();
         const Modulus &m = ctx.prime(gi).mod;
-        const u64 *kp = (*op.b)[gi].data();
-        const u64 *s = (*op.a)[i].data();
-        u64 *x = (*op.out)[i].data();
+        const u64 *kp = (*op.b)[gi].read();
+        const u64 *s = (*op.a)[i].read();
+        u64 *x = (*op.out)[i].write();
         const bool barrett = ctx.modMulKind() == ModMulKind::Barrett;
         const u32 *pm = op.perm;
         for (std::size_t j = 0; j < n; ++j) {
@@ -784,9 +836,9 @@ runOpOnLimb(const Context &ctx, const FusedChain::Op &op,
         const u64 p = ctx.prime((*op.out)[i].primeIdx()).value();
         const u64 w = op.s0[i];
         const u64 ws = op.s1[i];
-        const u64 *x = (*op.a)[i].data();
+        const u64 *x = (*op.a)[i].read();
         const u64 *t = (*op.ext)[i].data();
-        u64 *o = (*op.out)[i].data();
+        u64 *o = (*op.out)[i].write();
         for (std::size_t j = 0; j < n; ++j)
             o[j] = mulModShoup(subMod(x[j], t[j], p), w, ws, p);
         break;
@@ -956,6 +1008,7 @@ FusedChain::run(const std::vector<Event> &extraWaits)
 {
     if (ops_.empty())
         return;
+    check::ScopedLabel lbl("fused_chain");
     const Context &ctx = *ctx_;
     const std::size_t n = ctx.degree();
     const u32 logN = ctx.logDegree();

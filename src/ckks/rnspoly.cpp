@@ -37,7 +37,7 @@ RNSPoly::clone() const
                         n * sizeof(u64), 0,
                         [&sp, &dp, n](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i)
-            std::memcpy(dp[i].data(), sp[i].data(), n * sizeof(u64));
+            std::memcpy(dp[i].write(), sp[i].read(), n * sizeof(u64));
     }, [&sp](std::size_t i) { return sp[i].primeIdx(); },
        {kernels::rd(*this), kernels::wr(c)});
     return c;

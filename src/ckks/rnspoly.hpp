@@ -103,8 +103,38 @@ class Limb
         }
     }
 
-    u64 *data() { return data_.data(); }
+    /** Raw buffer for host-side writes (encode, deserialize, memset
+     *  paths). When validation is on, the mutable access marks the
+     *  buffer initialized -- host paths synchronize via syncHost(), so
+     *  they are outside the racecheck scope. */
+    u64 *
+    data()
+    {
+        if (check::enabled())
+            check::markInitialized(data_.data());
+        return data_.data();
+    }
     const u64 *data() const { return data_.data(); }
+
+    /** Instrumented kernel-body accessors: bodies use these instead of
+     *  data() so the hazard validator sees the actual access set of
+     *  every launch (racecheck + declcheck + initcheck). Zero cost
+     *  when validation is off. */
+    const u64 *
+    read() const
+    {
+        if (check::enabled())
+            check::recordRead(data_.data(), primeIdx_);
+        return data_.data();
+    }
+    u64 *
+    write()
+    {
+        if (check::enabled())
+            check::recordWrite(data_.data(), primeIdx_);
+        return data_.data();
+    }
+
     std::size_t size() const { return data_.size(); }
     u32 primeIdx() const { return primeIdx_; }
     Device &device() const { return *dev_; }

@@ -88,10 +88,14 @@ MemPool::allocate(std::size_t bytes)
         it->second.pop_back();
         bytesCached_ -= bytes;
         ++poolHits_;
+        if (check::enabled())
+            check::onAlloc(p);
         return p;
     }
     void *p = std::malloc(bytes);
     FIDES_ASSERT(p != nullptr);
+    if (check::enabled())
+        check::onAlloc(p);
     return p;
 }
 
@@ -105,6 +109,8 @@ MemPool::release(void *ptr, std::size_t bytes)
 void
 MemPool::releaseLocked(void *ptr, std::size_t bytes)
 {
+    if (check::enabled())
+        check::onFree(ptr);
     FIDES_ASSERT(bytesInUse_ >= bytes);
     bytesInUse_ -= bytes;
     bytesCached_ += bytes;
@@ -122,6 +128,10 @@ MemPool::deferRelease(void *ptr, std::size_t bytes,
 {
     if (!ptr)
         return;
+    // Arm the use-after-deferred-free check before pruning: the guard
+    // frontier is the join of ALL the guarding events' clocks.
+    if (check::enabled())
+        check::onDeferRelease(ptr, events);
     // Drop already-signalled events; if none remain the free is
     // immediate.
     std::erase_if(events, [](const Event &e) { return e.ready(); });
@@ -372,6 +382,8 @@ Stream::~Stream()
 void
 Stream::submit(std::function<void()> task)
 {
+    if (check::enabled())
+        check::onSubmit(this);
     std::lock_guard<std::mutex> lock(m_);
     FIDES_ASSERT(!stop_);
     if (!worker_.joinable())
@@ -386,6 +398,9 @@ Stream::record()
 {
     auto st = std::make_shared<Event::State>();
     st->streamId = id_;
+    // Snapshot before the event is shared: waiters join this clock.
+    if (check::enabled())
+        st->checkClock = check::makeEventClock(this);
     std::lock_guard<std::mutex> lock(m_);
     FIDES_ASSERT(!stop_);
     if (inFlight_ == 0) {
@@ -412,6 +427,11 @@ Stream::record()
 void
 Stream::wait(const Event &e)
 {
+    // The happens-before edge holds on every path below (ready,
+    // same-stream, queued wait), so the validator join is
+    // unconditional.
+    if (check::enabled())
+        check::onStreamWait(this, e);
     // In-order execution makes waiting on this stream's own earlier
     // events (and on anything already signalled) redundant.
     if (e.ready() || e.streamId() == id_)
@@ -426,6 +446,11 @@ Stream::synchronize()
         std::unique_lock<std::mutex> lock(m_);
         drained_.wait(lock, [this] { return inFlight_ == 0; });
     }
+    // The caller happens-after everything submitted so far -- a
+    // condition-variable join with no Event the validator would
+    // otherwise see.
+    if (check::enabled())
+        check::onStreamDrained(this);
     // The stream just went idle: events recorded on it have signalled,
     // so deferred frees keyed on them are reclaimable now. Without
     // this, a device idle after a burst would hold the buffers (and
@@ -477,6 +502,17 @@ DeviceSet::DeviceSet(u32 numDevices, u32 streamsPerDevice,
     for (u32 s = 0; s < total; ++s)
         streams_.push_back(
             std::make_unique<Stream>(*devices_[s % numDevices], s));
+}
+
+DeviceSet::~DeviceSet()
+{
+    streams_.clear();
+    devices_.clear();
+    // Drop every registered actor and shadow record: the streams (and
+    // the buffers their pools owned) are gone, and the validator must
+    // not misread recycled pointers against stale clocks.
+    if (check::enabled())
+        check::onTeardown();
 }
 
 void

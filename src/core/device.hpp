@@ -69,6 +69,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/check.hpp"
 #include "core/common.hpp"
 #include "core/logging.hpp"
 
@@ -119,11 +120,19 @@ class Event
 
     bool valid() const { return st_ != nullptr; }
 
-    /** Non-blocking completion poll. Null events are always ready. */
+    /** Non-blocking completion poll. Null events are always ready.
+     *  Observing completion is a happens-before edge the hazard
+     *  validator must see: every ready-skip fast path in the dispatch
+     *  layer funnels through here. */
     bool
     ready() const
     {
-        return !st_ || st_->done.load(std::memory_order_acquire);
+        if (!st_)
+            return true;
+        const bool done = st_->done.load(std::memory_order_acquire);
+        if (done && check::enabled())
+            check::onEventObserved(st_->checkClock);
+        return done;
     }
 
     /** Blocks the calling host thread until the event signals.
@@ -138,6 +147,8 @@ class Event
         st_->cv.wait(lock, [this] {
             return st_->done.load(std::memory_order_acquire);
         });
+        if (check::enabled())
+            check::onEventObserved(st_->checkClock);
     }
 
     /** Global id of the stream the event was recorded on. */
@@ -156,6 +167,14 @@ class Event
      *  quadratic. Null events share the null identity. */
     const void *identity() const { return st_.get(); }
 
+    /** The validator clock snapshot taken at record() (null when
+     *  validation was off, or for null events). */
+    std::shared_ptr<void>
+    checkClock() const
+    {
+        return st_ ? st_->checkClock : nullptr;
+    }
+
   private:
     friend class Stream;
 
@@ -165,6 +184,9 @@ class Event
         std::condition_variable cv;
         std::atomic<bool> done{false};
         u32 streamId = 0;
+        //! Hazard-validator clock snapshot (check::makeEventClock),
+        //! set once at record() before the event is shared.
+        std::shared_ptr<void> checkClock;
     };
 
     explicit Event(std::shared_ptr<State> st) : st_(std::move(st)) {}
@@ -568,6 +590,7 @@ class DeviceSet
   public:
     explicit DeviceSet(u32 numDevices = 1, u32 streamsPerDevice = 1,
                        u64 launchOverheadNs = 0);
+    ~DeviceSet();
 
     DeviceSet(const DeviceSet &) = delete;
     DeviceSet &operator=(const DeviceSet &) = delete;
@@ -804,6 +827,8 @@ class DeviceVector
         DeviceVector c(size_, *dev_);
         dev_->launch(size_ * sizeof(T), size_ * sizeof(T), 0);
         std::memcpy(c.data_, data_, size_ * sizeof(T));
+        if (check::enabled())
+            check::markInitialized(c.data_);
         return c;
     }
 

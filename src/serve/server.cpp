@@ -3,6 +3,7 @@
 #include <chrono>
 #include <exception>
 
+#include "check/check.hpp"
 #include "ckks/bootstrap.hpp"
 #include "ckks/graph.hpp"
 #include "core/logging.hpp"
@@ -90,6 +91,8 @@ Handle::get()
     FIDES_ASSERT(st_ != nullptr);
     std::unique_lock<std::mutex> lock(st_->m);
     st_->cv.wait(lock, [this] { return st_->done; });
+    if (check::enabled())
+        check::onHostObserve(st_.get());
     if (st_->error)
         std::rethrow_exception(st_->error);
     FIDES_ASSERT(st_->result.has_value());
@@ -165,6 +168,11 @@ Server::submit(Request req)
         // Re-checked after the backpressure wait: the server must not
         // accept a job its (exiting) workers would strand.
         FIDES_ASSERT(!stop_);
+        // The queue handoff is a happens-before edge the validator
+        // cannot see (host mutex, no stream/event involved): publish
+        // the submitting thread's clock for the worker to join.
+        if (check::enabled())
+            check::onHostPublish(state.get());
         queue_.push_back(Job{std::move(req), state});
         ++stats_.accepted;
     }
@@ -210,6 +218,8 @@ Server::workerLoop(u32 index)
         queue_.pop_front();
         ++busy_;
         lock.unlock();
+        if (check::enabled())
+            check::onHostObserve(job.state.get());
         if (capacity_ > 0)
             space_.notify_one();
 
@@ -235,6 +245,10 @@ Server::workerLoop(u32 index)
             else
                 ++stats_.completed;
         }
+        // The result handback is the reverse host edge: the client
+        // thread joining on Handle::get() observes this clock.
+        if (check::enabled())
+            check::onHostPublish(job.state.get());
         {
             std::lock_guard<std::mutex> slock(job.state->m);
             job.state->result = std::move(result);
