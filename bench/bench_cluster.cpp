@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Cluster-scaling benchmark for the sharded front door
+ * (serve/router.hpp): the SAME total workload -- T tenants x R
+ * stats-style requests, a fixed total submitter-thread budget --
+ * served by a Router with {1, 2, 4} shards. One shard is the
+ * single-node baseline whose submitter contention BENCH_serve.json
+ * documents (all submitters share one Context's plan-cache lock,
+ * MemPool and stream locks); each added shard is an independent
+ * Context + DeviceSet, so the sweep measures how much of that
+ * single-node collapse tenant-affine sharding buys back.
+ *
+ * Every run is the plan-cache steady state PER SHARD: each tenant's
+ * first (warmup, unmeasured) request captures the shard's plans, the
+ * measured requests replay them. Routed results are bit-identical
+ * across shard counts (proven by test_router); this bench measures
+ * only the placement schedule.
+ *
+ * Writes a machine-readable summary to --json_out (default
+ * BENCH_cluster.json in the CWD): per-row aggregate req/s and ops/s,
+ * p50/p99 latency, summed plan-cache hits, and the scaling ratio
+ * against the 1-shard row. CI gates the 2-shard ratio via
+ * tools/check_launch_regression.py --cluster; like the submitter
+ * gate, the ratio applies only on machines with enough cores
+ * (reported in the "cores" field) for a second shard's submitters to
+ * add wall-clock throughput. Ends with a Router::metricsText() smoke
+ * dump so the /metrics surface stays exercised.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckks/adapter.hpp"
+#include "ckks/encryptor.hpp"
+#include "ckks/graph.hpp"
+#include "ckks/keygen.hpp"
+#include "serve/router.hpp"
+
+using namespace fideslib;
+using namespace fideslib::ckks;
+using namespace fideslib::serve;
+
+namespace
+{
+
+u32 gStreams = 4;    //!< streams per device, per shard
+u32 gRequests = 48;  //!< total measured requests, all tenants
+u32 gTenants = 4;
+u32 gSubmitters = 4; //!< total submitter threads, split over shards
+std::vector<u32> gShards = {1, 2, 4};
+std::string gJsonOut = "BENCH_cluster.json";
+
+constexpr u32 kOpsPerRequest = 6; //!< statsProgram's homomorphic ops
+
+Request
+statsProgram(Ciphertext x, Ciphertext y)
+{
+    Request r;
+    u32 a = r.input(std::move(x));
+    u32 b = r.input(std::move(y));
+    u32 m = r.multiply(a, b);
+    r.rescale(m);
+    u32 rot = r.rotate(m, 1);
+    u32 s = r.add(rot, m);
+    u32 sq = r.square(s);
+    r.rescale(sq);
+    return r;
+}
+
+Parameters
+shardParams()
+{
+    Parameters p = Parameters::paper13();
+    p.numDevices = 1;
+    p.streamsPerDevice = gStreams;
+    // The launch-bound regime of the paper's Figure 7 (like
+    // bench_serve): per-launch overhead makes host dispatch the
+    // resource the shards multiply.
+    p.limbBatch = 4;
+    return p;
+}
+
+struct RunResult
+{
+    u32 shards;
+    double seconds;
+    double p50Ms;
+    double p99Ms;
+    u64 planHits;
+    std::size_t planKeys;
+    u64 arenaBytes;
+    std::string metrics;
+};
+
+RunResult
+runOnce(u32 shards, const HostKeyBundle &wireKeys,
+        const Context &clientCtx, const Ciphertext &x,
+        const Ciphertext &y)
+{
+    Router::Options opt;
+    opt.shards = shards;
+    opt.submittersPerShard = std::max(1u, gSubmitters / shards);
+    Router router(shardParams(), opt);
+    for (u32 s = 0; s < shards; ++s)
+        router.shardContext(s).devices().setLaunchOverheadNs(2000);
+
+    const HostCiphertext hx = adapter::toHost(clientCtx, x);
+    const HostCiphertext hy = adapter::toHost(clientCtx, y);
+
+    // Warmup: each tenant's first request captures its shard's
+    // plans; the measured loop below replays only.
+    for (u64 t = 1; t <= gTenants; ++t) {
+        router.registerTenant(t, wireKeys);
+        router.submit(t, statsProgram(router.upload(t, hx),
+                                      router.upload(t, hy)));
+    }
+    router.drain();
+
+    // Pre-built, pre-uploaded requests round-robined over the
+    // tenants: the measured region contains only serving work.
+    std::vector<u64> owner;
+    std::vector<Request> requests;
+    requests.reserve(gRequests);
+    for (u32 i = 0; i < gRequests; ++i) {
+        const u64 t = 1 + (i % gTenants);
+        owner.push_back(t);
+        requests.push_back(statsProgram(router.upload(t, hx),
+                                        router.upload(t, hy)));
+    }
+    u64 hits0 = 0;
+    for (u32 s = 0; s < shards; ++s) {
+        router.shardContext(s).devices().synchronize();
+        hits0 += router.shardContext(s).devices().planReplays();
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<Handle> handles;
+    handles.reserve(requests.size());
+    for (u32 i = 0; i < gRequests; ++i)
+        handles.push_back(
+            router.submit(owner[i], std::move(requests[i])));
+    std::vector<double> latencies;
+    latencies.reserve(handles.size());
+    for (Handle &h : handles) {
+        (void)h.get();
+        latencies.push_back(h.latencyMs());
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    u64 hits1 = 0;
+    for (u32 s = 0; s < shards; ++s)
+        hits1 += router.shardContext(s).devices().planReplays();
+
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double p) {
+        std::size_t i = static_cast<std::size_t>(
+            p * static_cast<double>(latencies.size() - 1));
+        return latencies[i];
+    };
+
+    RunResult r{shards,       seconds, pct(0.50), pct(0.99),
+                hits1 - hits0, 0,       0,         {}};
+    const Router::Stats st = router.stats();
+    for (const auto &ss : st.shards) {
+        r.planKeys += ss.planKeys;
+        r.arenaBytes += ss.arenaBytes;
+    }
+    r.metrics = router.metricsText();
+    return r;
+}
+
+void
+parseFlags(int argc, char **argv)
+{
+    auto value = [&](int &i) -> const char * {
+        const char *arg = argv[i];
+        const char *eq = std::strchr(arg, '=');
+        if (eq)
+            return eq + 1;
+        if (i + 1 < argc)
+            return argv[++i];
+        fatal("%.24s requires a value", arg);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--streams", 9) == 0) {
+            gStreams = static_cast<u32>(std::atoi(value(i)));
+        } else if (std::strncmp(a, "--requests", 10) == 0) {
+            gRequests = static_cast<u32>(std::atoi(value(i)));
+        } else if (std::strncmp(a, "--tenants", 9) == 0) {
+            gTenants = static_cast<u32>(std::atoi(value(i)));
+        } else if (std::strncmp(a, "--submitters", 12) == 0) {
+            gSubmitters = static_cast<u32>(std::atoi(value(i)));
+        } else if (std::strncmp(a, "--shards", 8) == 0) {
+            gShards.clear();
+            std::string list = value(i);
+            for (std::size_t p = 0; p < list.size();) {
+                std::size_t c = list.find(',', p);
+                if (c == std::string::npos)
+                    c = list.size();
+                gShards.push_back(static_cast<u32>(
+                    std::atoi(list.substr(p, c - p).c_str())));
+                p = c + 1;
+            }
+        } else if (std::strncmp(a, "--json_out", 10) == 0) {
+            gJsonOut = value(i);
+        } else {
+            fatal("unknown flag %.40s", a);
+        }
+    }
+    if (gStreams < 1 || gRequests < 1 || gTenants < 1 ||
+        gSubmitters < 1 || gShards.empty())
+        fatal("bad flag values");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    parseFlags(argc, argv);
+
+    // The client side: keys generated once, shipped to every cluster
+    // in wire-registry form; inputs encrypted once, uploaded per
+    // tenant over the wire format.
+    Context clientCtx(shardParams());
+    KeyGen keygen(clientCtx);
+    KeyBundle keys = keygen.makeBundle({1});
+    const HostKeyBundle wireKeys = adapter::toHost(clientCtx, keys);
+    Encoder enc(clientCtx);
+    Encryptor encr(clientCtx, keys.pk);
+
+    const u32 slots = static_cast<u32>(clientCtx.degree() / 2);
+    std::vector<std::complex<double>> xs(slots), ys(slots);
+    for (u32 i = 0; i < slots; ++i) {
+        xs[i] = {std::cos(0.37 * i), std::sin(0.91 * i)};
+        ys[i] = {std::sin(0.53 * i), std::cos(0.11 * i)};
+    }
+    auto x = encr.encrypt(enc.encode(xs, slots, clientCtx.maxLevel()));
+    auto y = encr.encrypt(enc.encode(ys, slots, clientCtx.maxLevel()));
+
+    const u32 cores = std::max(1u, std::thread::hardware_concurrency());
+    std::printf("bench_cluster: %u tenant(s), %u requests x %u ops, "
+                "%u total submitter(s), %u core(s)\n",
+                gTenants, gRequests, kOpsPerRequest, gSubmitters,
+                cores);
+
+    std::vector<RunResult> rows;
+    for (u32 s : gShards)
+        rows.push_back(runOnce(s, wireKeys, clientCtx, x, y));
+
+    const double base =
+        static_cast<double>(gRequests) / rows.front().seconds;
+    std::FILE *f = std::fopen(gJsonOut.c_str(), "w");
+    if (!f)
+        fatal("cannot write %.200s", gJsonOut.c_str());
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const RunResult &r = rows[i];
+        const double reqPerSec =
+            static_cast<double>(gRequests) / r.seconds;
+        const double scaling = reqPerSec / base;
+        std::printf("  shards=%u  %8.1f req/s  %8.1f ops/s  "
+                    "p50 %6.2f ms  p99 %6.2f ms  x%.2f vs 1 shard\n",
+                    r.shards, reqPerSec, reqPerSec * kOpsPerRequest,
+                    r.p50Ms, r.p99Ms, scaling);
+        std::fprintf(
+            f,
+            "  {\"name\": \"cluster_sh%u\", \"shards\": %u, "
+            "\"submitters_per_shard\": %u, \"tenants\": %u, "
+            "\"requests\": %u, \"ops_per_request\": %u, "
+            "\"requests_per_sec\": %.2f, \"ops_per_sec\": %.2f, "
+            "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+            "\"scaling_vs_1shard\": %.3f, \"plan_cache_hits\": %llu, "
+            "\"plan_keys\": %zu, \"plan_arena_mb\": %.2f, "
+            "\"cores\": %u}%s\n",
+            r.shards, r.shards, std::max(1u, gSubmitters / r.shards),
+            gTenants, gRequests, kOpsPerRequest, reqPerSec,
+            reqPerSec * kOpsPerRequest, r.p50Ms, r.p99Ms, scaling,
+            static_cast<unsigned long long>(r.planHits), r.planKeys,
+            static_cast<double>(r.arenaBytes) / 1e6, cores,
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+
+    // /metrics smoke dump (router-level samples + shard 0's head) so
+    // the observability surface runs in CI, not just in tests.
+    const std::string &m = rows.back().metrics;
+    std::printf("--- metricsText (first lines) ---\n");
+    std::size_t pos = 0;
+    for (int line = 0; line < 8 && pos != std::string::npos; ++line) {
+        std::size_t nl = m.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        std::printf("%s\n", m.substr(pos, nl - pos).c_str());
+        pos = nl + 1;
+    }
+    return 0;
+}

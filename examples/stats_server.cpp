@@ -1,23 +1,30 @@
 /**
  * @file
- * The serving front door in action: a multi-tenant analytics server.
- * Four clients each upload an encrypted measurement series; the
- * server computes every client's mean and variance CONCURRENTLY --
- * one shared Context and key set, a pool of submitter threads, each
- * request's replayed plans scheduled onto its submitter's stream
- * lease -- and never sees a value. The request programs are the same
- * rotate-and-add chains as examples/encrypted_stats.cpp, expressed as
- * serve::Request op-programs.
+ * The serving stack in action: a multi-tenant analytics CLUSTER.
+ * Four clients each upload an encrypted measurement series; a
+ * serve::Router shards the serving layer across two simulated GPU
+ * nodes (independent Contexts), places each tenant on a shard by
+ * consistent hashing, and computes every client's mean and variance
+ * CONCURRENTLY -- without ever seeing a value. Keys travel to the
+ * cluster in wire-registry form, ciphertexts cross the client/shard
+ * boundary through the serialization format, and results come back
+ * the same way: the shard boundary is the wire format. The request
+ * programs are the same rotate-and-add chains as
+ * examples/encrypted_stats.cpp, expressed as serve::Request
+ * op-programs.
  */
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "ckks/adapter.hpp"
 #include "ckks/encryptor.hpp"
 #include "ckks/graph.hpp"
 #include "ckks/keygen.hpp"
-#include "serve/server.hpp"
+#include "ckks/serial.hpp"
+#include "serve/router.hpp"
 
 using namespace fideslib;
 using namespace fideslib::ckks;
@@ -47,18 +54,22 @@ int
 main()
 {
     Parameters params = Parameters::paper13();
-    params.numDevices = 2;
+    params.numDevices = 1;
     params.streamsPerDevice = 2;
-    Context ctx(params);
-    KeyGen keygen(ctx);
+
+    // The client side: key generation and encryption happen here; the
+    // cluster only ever receives wire-format keys and ciphertexts.
+    Context clientCtx(params);
+    KeyGen keygen(clientCtx);
 
     const u32 slots = 256;
     std::vector<i64> rotations;
     for (u32 k = 1; k < slots; k <<= 1)
         rotations.push_back(static_cast<i64>(k));
     KeyBundle keys = keygen.makeBundle(rotations);
-    Encoder encoder(ctx);
-    Encryptor encryptor(ctx, keys.pk);
+    const HostKeyBundle wireKeys = adapter::toHost(clientCtx, keys);
+    Encoder encoder(clientCtx);
+    Encryptor encryptor(clientCtx, keys.pk);
 
     // Four tenants with different series.
     constexpr u32 kClients = 4;
@@ -81,23 +92,38 @@ main()
         wantVar[c] = var / slots;
     }
 
-    // The server: one shared context, two submitter threads (one per
-    // device's worth of streams).
-    Server::Options opt;
-    opt.submitters = 2;
-    Server server(ctx, keys, opt);
+    // The cluster: two shards (each its own Context + DeviceSet), one
+    // submitter per shard, tenants placed by the consistent-hash
+    // ring. Each tenant registers the wire-form key bundle; the
+    // Router materializes device keys on the owning shard.
+    Router::Options opt;
+    opt.shards = 2;
+    opt.submittersPerShard = 1;
+    Router router(params, opt);
+    for (u32 c = 0; c < kClients; ++c) {
+        const u32 s = router.registerTenant(c + 1, wireKeys);
+        std::printf("tenant %u -> %s\n", c + 1,
+                    router.shardContext(s).shardLabel().c_str());
+    }
 
     // Per client, one request computing mean and one computing
-    // variance (mean of the square minus square of the mean).
+    // variance (mean of the square minus square of the mean), routed
+    // to whichever shard owns the tenant.
     std::vector<Handle> meanHandles, varHandles;
     for (u32 c = 0; c < kClients; ++c) {
-        auto ct = encryptor.encrypt(
-            encoder.encode(series[c], slots, ctx.maxLevel()));
+        const u64 tenant = c + 1;
+        auto ct = router.upload(
+            tenant,
+            adapter::toHost(clientCtx,
+                            encryptor.encrypt(encoder.encode(
+                                series[c], slots,
+                                clientCtx.maxLevel()))));
 
         Request meanReq;
         u32 x = meanReq.input(ct.clone());
         meanReq.returns(meanProgram(meanReq, x, slots));
-        meanHandles.push_back(server.submit(std::move(meanReq)));
+        meanHandles.push_back(
+            router.submit(tenant, std::move(meanReq)));
 
         // Variance = mean of squared deviations. The mean lands one
         // level down on the canonical scale chain, so the series is
@@ -113,8 +139,17 @@ main()
         u32 sq = varReq.square(dev);
         varReq.rescale(sq);
         varReq.returns(meanProgram(varReq, sq, slots));
-        varHandles.push_back(server.submit(std::move(varReq)));
+        varHandles.push_back(router.submit(tenant, std::move(varReq)));
     }
+
+    // Download: results live on the owning shard's Context; they come
+    // back to the client over the wire format, where the secret key
+    // decrypts them.
+    auto download = [&](u64 tenant, Handle &h) {
+        const Context &shardCtx =
+            router.shardContext(router.shardOf(tenant));
+        return serial::moveToContext(shardCtx, clientCtx, h.get());
+    };
 
     bool ok = true;
     std::printf("client  %12s %12s %12s %12s\n", "mean(enc)",
@@ -122,13 +157,15 @@ main()
     for (u32 c = 0; c < kClients; ++c) {
         auto gotMean =
             encoder
-                .decode(encryptor.decrypt(meanHandles[c].get(),
-                                          keygen.secretKey()))[0]
+                .decode(encryptor.decrypt(
+                    download(c + 1, meanHandles[c]),
+                    keygen.secretKey()))[0]
                 .real();
         auto gotVar =
             encoder
-                .decode(encryptor.decrypt(varHandles[c].get(),
-                                          keygen.secretKey()))[0]
+                .decode(encryptor.decrypt(
+                    download(c + 1, varHandles[c]),
+                    keygen.secretKey()))[0]
                 .real();
         std::printf("%6u  %12.6f %12.6f %12.6f %12.6f\n", c, gotMean,
                     wantMean[c], gotVar, wantVar[c]);
@@ -136,12 +173,21 @@ main()
              std::fabs(gotVar - wantVar[c]) < 1e-4;
     }
 
-    Server::Stats st = server.stats();
-    std::printf("served %llu requests (%llu failed) on %u submitters; "
-                "%zu cached plans\n",
-                (unsigned long long)st.completed,
-                (unsigned long long)st.failed, server.submitters(),
-                ctx.plans().size());
+    const Router::Stats st = router.stats();
+    for (u32 s = 0; s < router.numShards(); ++s)
+        std::printf("%s: %zu tenant(s), %llu request(s) served, "
+                    "%llu failed, %zu cached plan(s)\n",
+                    router.shardContext(s).shardLabel().c_str(),
+                    st.shards[s].tenants,
+                    (unsigned long long)st.shards[s].serve.completed,
+                    (unsigned long long)st.shards[s].serve.failed,
+                    st.shards[s].planKeys);
+
+    // The same numbers, scrape-ready (Router::metricsText dumps every
+    // shard's /metrics samples; the head is enough for a demo).
+    const std::string metrics = router.metricsText();
+    std::printf("--- metrics head ---\n%s",
+                metrics.substr(0, metrics.find('\n', 120) + 1).c_str());
     std::printf("%s\n", ok ? "OK" : "MISMATCH");
     return ok ? 0 : 1;
 }

@@ -74,4 +74,59 @@ toDevice(const Context &ctx, const HostPlaintext &h)
     return Plaintext{toDevice(ctx, h.poly), h.scale, h.slots};
 }
 
+HostEvalKey
+toHost(const EvalKey &k)
+{
+    HostEvalKey h;
+    h.b.reserve(k.b.size());
+    h.a.reserve(k.a.size());
+    for (const RNSPoly &p : k.b)
+        h.b.push_back(toHost(p));
+    for (const RNSPoly &p : k.a)
+        h.a.push_back(toHost(p));
+    return h;
+}
+
+EvalKey
+toDevice(const Context &ctx, const HostEvalKey &h)
+{
+    EvalKey k;
+    k.b.reserve(h.b.size());
+    k.a.reserve(h.a.size());
+    for (const HostPoly &p : h.b)
+        k.b.push_back(toDevice(ctx, p));
+    for (const HostPoly &p : h.a)
+        k.a.push_back(toDevice(ctx, p));
+    return k;
+}
+
+HostKeyBundle
+toHost(const Context &ctx, const KeyBundle &keys)
+{
+    HostKeyBundle h;
+    h.logN = ctx.logDegree();
+    h.pkB = toHost(keys.pk.b);
+    h.pkA = toHost(keys.pk.a);
+    h.relin = toHost(keys.relin);
+    for (const auto &[elt, key] : keys.galois)
+        h.galois.emplace(elt, toHost(key));
+    return h;
+}
+
+KeyBundle
+toDevice(const Context &ctx, const HostKeyBundle &h)
+{
+    if (h.logN != ctx.logDegree())
+        fatal("adapter: key bundle ring degree 2^%u does not match "
+              "the context (2^%u)",
+              h.logN, ctx.logDegree());
+    KeyBundle keys{PublicKey{toDevice(ctx, h.pkB),
+                             toDevice(ctx, h.pkA)},
+                   toDevice(ctx, h.relin),
+                   {}};
+    for (const auto &[elt, key] : h.galois)
+        keys.galois.emplace(elt, toDevice(ctx, key));
+    return keys;
+}
+
 } // namespace fideslib::ckks::adapter

@@ -10,9 +10,11 @@
 
 #pragma once
 
+#include <map>
 #include <vector>
 
 #include "ckks/ciphertext.hpp"
+#include "ckks/keys.hpp"
 
 namespace fideslib::ckks
 {
@@ -45,6 +47,29 @@ struct HostPlaintext
     HostPoly poly;
 };
 
+/** Client-side hybrid key-switching key: one (b, a) pair per digit. */
+struct HostEvalKey
+{
+    std::vector<HostPoly> b;
+    std::vector<HostPoly> a;
+};
+
+/**
+ * Client-side evaluation-key bundle -- the registry form the serving
+ * layer's tenant placement keeps (serve::Router). A tenant registers
+ * its keys once in this host form; installing them on a shard is
+ * adapter::toDevice under THAT shard's Context, so the same bundle
+ * can be re-materialized on any shard a rebalance moves the tenant
+ * to. Device-resident KeyBundles never cross a shard boundary.
+ */
+struct HostKeyBundle
+{
+    u32 logN = 0;
+    HostPoly pkB, pkA;             //!< public key (b, a)
+    HostEvalKey relin;             //!< s^2 -> s
+    std::map<u64, HostEvalKey> galois; //!< galoisElt -> key
+};
+
 /** Host <-> device conversions. */
 namespace adapter
 {
@@ -57,6 +82,12 @@ Ciphertext toDevice(const Context &ctx, const HostCiphertext &h);
 
 HostPlaintext toHost(const Context &ctx, const Plaintext &pt);
 Plaintext toDevice(const Context &ctx, const HostPlaintext &h);
+
+HostEvalKey toHost(const EvalKey &k);
+EvalKey toDevice(const Context &ctx, const HostEvalKey &h);
+
+HostKeyBundle toHost(const Context &ctx, const KeyBundle &keys);
+KeyBundle toDevice(const Context &ctx, const HostKeyBundle &h);
 
 } // namespace adapter
 

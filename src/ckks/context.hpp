@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "ckks/parameters.hpp"
@@ -37,6 +38,8 @@ class GraphReplay;
 class PlanCache;
 struct PlanCacheStats;
 } // namespace kernels
+
+struct KeyBundle;
 
 /** One RNS prime with its NTT machinery. */
 struct PrimeRecord
@@ -334,6 +337,35 @@ class Context
     void setCaptureSession(kernels::GraphCapture *c) const;
     void setReplaySession(kernels::GraphReplay *r) const;
 
+    // Per-shard key-bundle registry (serve::Router placement). --------
+    /**
+     * Installs @p keys as tenant @p tenant's evaluation keys ON THIS
+     * CONTEXT. A sharded deployment gives every shard its own Context
+     * (simulated GPU node), and a tenant's device-resident keys live
+     * exactly on the shard that owns it: the Router re-materializes
+     * them from the host-side registry form (adapter::HostKeyBundle)
+     * when a tenant is placed or migrated. shared_ptr ownership lets
+     * in-flight requests outlive an unregistration (they hold a ref;
+     * the bundle dies when the last request retires). Thread-safe.
+     */
+    void registerKeyBundle(u64 tenant,
+                           std::shared_ptr<const KeyBundle> keys) const;
+    /** Drops tenant @p tenant's keys from this shard (migration's
+     *  source-side step). No-op if absent. */
+    void unregisterKeyBundle(u64 tenant) const;
+    /** The registered bundle, or null -- the Server's per-request key
+     *  lookup. */
+    std::shared_ptr<const KeyBundle> keyBundle(u64 tenant) const;
+    /** Registered tenants on this shard (observability). */
+    std::size_t keyBundleCount() const;
+
+    /**
+     * Shard label for aggregate observability (metricsText): set by
+     * serve::Router to "shard<i>"; empty outside sharded serving.
+     */
+    void setShardLabel(std::string label) { shardLabel_ = std::move(label); }
+    const std::string &shardLabel() const { return shardLabel_; }
+
     // Registry (paper Section III-E singleton pattern). ----------------
     static void setCurrent(Context *ctx);
     static Context &current();
@@ -365,6 +397,13 @@ class Context
     std::vector<u64> pInvModQ_, pInvModQShoup_, pModQ_;
     std::vector<u64> qlInvModQ_, qlInvModQShoup_;
     std::vector<long double> levelScales_;
+
+    // Tenant key registry (mutable: shards are handed around as
+    // const Context& by the serving layer, but key placement is
+    // execution state like the DeviceSet, not logical context state).
+    mutable std::mutex keyRegistryMutex_;
+    mutable std::map<u64, std::shared_ptr<const KeyBundle>> keyRegistry_;
+    std::string shardLabel_;
 
     // Lazily built caches, mutex-guarded: rotations consult the
     // automorphism cache from every submitter thread (std::map nodes

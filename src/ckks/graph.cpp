@@ -69,11 +69,26 @@ reserveScaledScratch(DeviceSet &devs,
 PlanCache::Lease
 PlanCache::acquire(const PlanKey &key)
 {
-    std::unique_lock<std::mutex> lock(m_);
+    // Replay fast path: a warm key resolves under a SHARED lock --
+    // concurrent same-key replays (the serving steady state, N
+    // submitters re-dispatching identical programs) read the map and
+    // bump an atomic counter, never contending on the exclusive
+    // lock. The graph pointer stays valid because clear() (the only
+    // path that destroys a stored graph) asserts no lease is active.
+    {
+        std::shared_lock<std::shared_mutex> lock(m_);
+        auto it = plans_.find(key);
+        if (it != plans_.end() && it->second.graph) {
+            it->second.hits.fetch_add(1, std::memory_order_relaxed);
+            activeLeases_.fetch_add(1, std::memory_order_relaxed);
+            return {Role::Replay, it->second.graph.get()};
+        }
+    }
+    std::unique_lock<std::shared_mutex> lock(m_);
     for (;;) {
         Entry &e = plans_[key];
         if (e.graph) {
-            ++e.hits;
+            e.hits.fetch_add(1, std::memory_order_relaxed);
             activeLeases_.fetch_add(1, std::memory_order_relaxed);
             return {Role::Replay, e.graph.get()};
         }
@@ -81,7 +96,7 @@ PlanCache::acquire(const PlanKey &key)
             // Single-flight: this caller captures; same-key callers
             // arriving before publish()/abandon() block below.
             e.capturing = true;
-            ++e.misses;
+            e.misses.fetch_add(1, std::memory_order_relaxed);
             activeLeases_.fetch_add(1, std::memory_order_relaxed);
             return {Role::Capture, nullptr};
         }
@@ -97,7 +112,7 @@ PlanCache::publish(const PlanKey &key, std::unique_ptr<KernelGraph> graph)
 {
     FIDES_ASSERT(graph != nullptr);
     {
-        std::lock_guard<std::mutex> lock(m_);
+        std::lock_guard<std::shared_mutex> lock(m_);
         Entry &e = plans_[key];
         FIDES_ASSERT(e.capturing && !e.graph);
         e.capturing = false;
@@ -111,7 +126,7 @@ void
 PlanCache::abandon(const PlanKey &key)
 {
     {
-        std::lock_guard<std::mutex> lock(m_);
+        std::lock_guard<std::shared_mutex> lock(m_);
         auto it = plans_.find(key);
         FIDES_ASSERT(it != plans_.end() && it->second.capturing);
         it->second.capturing = false;
@@ -129,7 +144,7 @@ PlanCache::release()
 void
 PlanCache::clear()
 {
-    std::lock_guard<std::mutex> lock(m_);
+    std::lock_guard<std::shared_mutex> lock(m_);
     // A plan must never die under an active capture or replay --
     // execution knobs may only change while no op is in flight.
     FIDES_ASSERT(activeLeases_.load(std::memory_order_relaxed) == 0);
@@ -139,7 +154,7 @@ PlanCache::clear()
 std::size_t
 PlanCache::size() const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    std::shared_lock<std::shared_mutex> lock(m_);
     std::size_t stored = 0;
     for (const auto &[key, e] : plans_)
         if (e.graph)
@@ -150,7 +165,7 @@ PlanCache::size() const
 void
 PlanCache::reserveScratch(DeviceSet &devs, u32 multiplier) const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    std::shared_lock<std::shared_mutex> lock(m_);
     for (const auto &[key, e] : plans_)
         if (e.graph)
             reserveScaledScratch(devs, e.graph->scratch, multiplier);
@@ -159,17 +174,20 @@ PlanCache::reserveScratch(DeviceSet &devs, u32 multiplier) const
 PlanCacheStats
 PlanCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(m_);
+    std::shared_lock<std::shared_mutex> lock(m_);
     PlanCacheStats out;
     out.keys.reserve(plans_.size());
     for (const auto &[key, e] : plans_) {
-        out.keys.push_back({key, e.hits, e.misses});
-        out.hits += e.hits;
-        out.misses += e.misses;
+        const u64 hits = e.hits.load(std::memory_order_relaxed);
+        const u64 misses = e.misses.load(std::memory_order_relaxed);
+        out.keys.push_back({key, hits, misses});
+        out.hits += hits;
+        out.misses += misses;
         if (isSegmentOp(key.op)) {
             ++out.segmentKeys;
-            out.segmentHits += e.hits;
-            out.segmentMisses += e.misses;
+            out.segmentHits += e.hits.load(std::memory_order_relaxed);
+            out.segmentMisses +=
+                e.misses.load(std::memory_order_relaxed);
         }
     }
     return out;

@@ -52,6 +52,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -187,6 +188,13 @@ class PlanCache
      * the same key's capture. Every acquire must be matched by
      * exactly one release() (Replay role) or publish()/abandon()
      * (Capture role).
+     *
+     * The replay steady state -- every serving submitter resolving
+     * the same warm keys per request -- takes only a SHARED lock (a
+     * lookup plus an atomic hit count), so same-key replays from N
+     * submitters never serialize on the cache; the exclusive lock is
+     * reserved for the mutating paths (first-miss insertion, publish,
+     * abandon, clear).
      */
     Lease acquire(const PlanKey &key);
     /** Stores a freshly captured plan and wakes same-key waiters. */
@@ -217,12 +225,14 @@ class PlanCache
     {
         std::unique_ptr<KernelGraph> graph;
         bool capturing = false;
-        u64 hits = 0;
-        u64 misses = 0;
+        //! Atomic so shared-lock replay lookups can count hits
+        //! without upgrading to the exclusive lock.
+        std::atomic<u64> hits{0};
+        std::atomic<u64> misses{0};
     };
 
-    mutable std::mutex m_;
-    std::condition_variable published_;
+    mutable std::shared_mutex m_;
+    std::condition_variable_any published_;
     std::map<PlanKey, Entry> plans_;
     std::atomic<u32> activeLeases_{0};
 };

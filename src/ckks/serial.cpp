@@ -2,6 +2,7 @@
 
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "core/logging.hpp"
 
@@ -119,6 +120,30 @@ write(std::ostream &os, const HostPlaintext &pt)
     writeU64(os, pt.slots);
     writeScale(os, pt.scale);
     writePoly(os, pt.poly);
+}
+
+Ciphertext
+rebind(const Context &dst, const HostCiphertext &ct)
+{
+    // The adapter validates the ring degree; limb counts are checked
+    // structurally when the destination RNSPoly is built. Wire
+    // payloads carry global prime INDICES implicitly (limb order), so
+    // equal Parameters -- identical prime chains -- are required for
+    // the rebind to be meaningful; a degree mismatch is the cheap
+    // proxy fatal() guards here.
+    return adapter::toDevice(dst, ct);
+}
+
+Ciphertext
+moveToContext(const Context &src, const Context &dst,
+              const Ciphertext &ct)
+{
+    // Genuinely exercise the wire format (not just the host adapter):
+    // the bytes crossing the shard boundary are exactly what a
+    // network hop would carry.
+    std::stringstream wire;
+    write(wire, adapter::toHost(src, ct));
+    return rebind(dst, readCiphertext(wire));
 }
 
 HostPlaintext

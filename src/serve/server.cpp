@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <exception>
 
 #include "check/check.hpp"
@@ -118,12 +119,14 @@ struct Server::Job
 {
     Request req;
     std::shared_ptr<Handle::State> state;
+    //! Key material resolved at submit time: the job keeps the
+    //! bundle alive even if the tenant is unregistered mid-flight
+    //! (migration's source-side drain).
+    Tenant tenant;
 };
 
-Server::Server(const ckks::Context &ctx, const ckks::KeyBundle &keys,
-               Options opt)
-    : ctx_(&ctx), keys_(&keys), boot_(opt.bootstrapper),
-      capacity_(opt.queueCapacity)
+Server::Server(const ckks::Context &ctx, Options opt)
+    : ctx_(&ctx), capacity_(opt.queueCapacity)
 {
     numWorkers_ = opt.submitters ? opt.submitters : 1;
     // Partitioned arenas: every plan stored from now on reserves
@@ -141,6 +144,19 @@ Server::Server(const ckks::Context &ctx, const ckks::KeyBundle &keys,
         workers_.emplace_back(&Server::workerLoop, this, i);
 }
 
+Server::Server(const ckks::Context &ctx, const ckks::KeyBundle &keys,
+               Options opt)
+    : Server(ctx, opt)
+{
+    // The single-bundle front door: caller-owned keys (aliased, not
+    // owned -- the caller keeps them alive for the server's lifetime,
+    // as before multi-tenant registration existed).
+    registerTenant(kDefaultTenant,
+                   std::shared_ptr<const ckks::KeyBundle>(
+                       std::shared_ptr<const ckks::KeyBundle>(), &keys),
+                   opt.bootstrapper);
+}
+
 Server::~Server()
 {
     {
@@ -153,14 +169,44 @@ Server::~Server()
         w.join();
 }
 
+void
+Server::registerTenant(u64 tenant,
+                       std::shared_ptr<const ckks::KeyBundle> keys,
+                       const ckks::Bootstrapper *boot)
+{
+    FIDES_ASSERT(keys != nullptr);
+    std::lock_guard<std::mutex> lock(m_);
+    tenants_[tenant] = Tenant{std::move(keys), boot};
+}
+
+void
+Server::unregisterTenant(u64 tenant)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    tenants_.erase(tenant);
+}
+
+std::size_t
+Server::tenants() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return tenants_.size();
+}
+
 Handle
-Server::submit(Request req)
+Server::submit(u64 tenant, Request req)
 {
     auto state = std::make_shared<Handle::State>();
     state->submitted = Clock::now();
     {
         std::unique_lock<std::mutex> lock(m_);
         FIDES_ASSERT(!stop_);
+        auto it = tenants_.find(tenant);
+        if (it == tenants_.end())
+            fatal("serve: no key bundle registered for tenant %llu "
+                  "on this server",
+                  static_cast<unsigned long long>(tenant));
+        Tenant keys = it->second;
         if (capacity_ > 0)
             space_.wait(lock, [this] {
                 return stop_ || queue_.size() < capacity_;
@@ -173,7 +219,7 @@ Server::submit(Request req)
         // the submitting thread's clock for the worker to join.
         if (check::enabled())
             check::onHostPublish(state.get());
-        queue_.push_back(Job{std::move(req), state});
+        queue_.push_back(Job{std::move(req), state, std::move(keys)});
         ++stats_.accepted;
     }
     wake_.notify_one();
@@ -192,7 +238,74 @@ Server::Stats
 Server::stats() const
 {
     std::lock_guard<std::mutex> lock(m_);
-    return stats_;
+    Stats st = stats_;
+    st.queued = queue_.size() + busy_;
+    return st;
+}
+
+std::string
+Server::metricsText(const std::string &label) const
+{
+    // /metrics-style text (ROADMAP observability slice): counters
+    // first, then the cumulative latency histogram, then the
+    // Context's plan-cache stats. Samples carry a shard label when
+    // the caller (Router) provides one, so shard dumps concatenate
+    // into one scrape.
+    const std::string tag =
+        label.empty() ? "" : "{shard=\"" + label + "\"}";
+    Stats st;
+    std::array<u64, kLatencyBucketsMs.size() + 1> lat{};
+    std::size_t numTenants = 0;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        st = stats_;
+        st.queued = queue_.size() + busy_;
+        lat = latency_;
+        numTenants = tenants_.size();
+    }
+    char line[160];
+    std::string out;
+    auto emit = [&](const char *name, double v) {
+        std::snprintf(line, sizeof(line), "%s%s %.0f\n", name,
+                      tag.c_str(), v);
+        out += line;
+    };
+    emit("fides_serve_accepted_total", static_cast<double>(st.accepted));
+    emit("fides_serve_completed_total",
+         static_cast<double>(st.completed));
+    emit("fides_serve_failed_total", static_cast<double>(st.failed));
+    emit("fides_serve_queue_depth", static_cast<double>(st.queued));
+    emit("fides_serve_submitters", numWorkers_);
+    emit("fides_serve_tenants", static_cast<double>(numTenants));
+
+    // Prometheus histograms are cumulative per bucket.
+    const std::string bucketTag =
+        label.empty() ? "" : "shard=\"" + label + "\",";
+    u64 cum = 0;
+    for (std::size_t i = 0; i < kLatencyBucketsMs.size(); ++i) {
+        cum += lat[i];
+        std::snprintf(line, sizeof(line),
+                      "fides_serve_latency_ms_bucket{%sle=\"%g\"} "
+                      "%llu\n",
+                      bucketTag.c_str(), kLatencyBucketsMs[i],
+                      static_cast<unsigned long long>(cum));
+        out += line;
+    }
+    cum += lat[kLatencyBucketsMs.size()];
+    std::snprintf(line, sizeof(line),
+                  "fides_serve_latency_ms_bucket{%sle=\"+Inf\"} %llu\n",
+                  bucketTag.c_str(),
+                  static_cast<unsigned long long>(cum));
+    out += line;
+    emit("fides_serve_latency_ms_count", static_cast<double>(cum));
+
+    const ckks::kernels::PlanCacheStats ps = ctx_->planStats();
+    emit("fides_plan_keys", static_cast<double>(ps.keys.size()));
+    emit("fides_plan_hits_total", static_cast<double>(ps.hits));
+    emit("fides_plan_misses_total", static_cast<double>(ps.misses));
+    emit("fides_plan_arena_reserved_bytes",
+         static_cast<double>(ps.reservedBytes));
+    return out;
 }
 
 void
@@ -200,11 +313,11 @@ Server::workerLoop(u32 index)
 {
     // Per-submitter execution state: a disjoint stream lease (thread-
     // locally installed so every kernel this thread dispatches lands
-    // on it) and a private Evaluator over the shared Context/keys.
+    // on it). The Evaluator is per JOB -- it is two pointers plus an
+    // Encoder view, and each job carries its own tenant's keys.
     StreamLease lease =
         leaseForWorker(ctx_->devices(), index, numWorkers_);
     ctx_->setThreadLease(&lease);
-    ckks::Evaluator eval(*ctx_, *keys_);
 
     std::unique_lock<std::mutex> lock(m_);
     for (;;) {
@@ -226,7 +339,9 @@ Server::workerLoop(u32 index)
         std::exception_ptr error;
         std::optional<ckks::Ciphertext> result;
         try {
-            result = executeProgram(eval, boot_, std::move(job.req));
+            ckks::Evaluator eval(*ctx_, *job.tenant.keys);
+            result = executeProgram(eval, job.tenant.boot,
+                                    std::move(job.req));
             // The request's one host join: the handle yields a
             // settled ciphertext (ready for serialization/decryption
             // without further waits).
@@ -234,6 +349,10 @@ Server::workerLoop(u32 index)
         } catch (...) {
             error = std::current_exception();
         }
+        const double latencyMs =
+            std::chrono::duration<double, std::milli>(
+                Clock::now() - job.state->submitted)
+                .count();
         // Stats first, then the handle, then the idle transition: a
         // client returning from Handle::get() must observe its request
         // counted, and drain() must not return before the handle of
@@ -244,6 +363,11 @@ Server::workerLoop(u32 index)
                 ++stats_.failed;
             else
                 ++stats_.completed;
+            std::size_t b = 0;
+            while (b < kLatencyBucketsMs.size() &&
+                   latencyMs > kLatencyBucketsMs[b])
+                ++b;
+            ++latency_[b];
         }
         // The result handback is the reverse host edge: the client
         // thread joining on Handle::get() observes this clock.

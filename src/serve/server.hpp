@@ -1,9 +1,14 @@
 /**
  * @file
  * The batched serving front door (DESIGN.md §1.8): a thread-safe
- * Server that owns nothing but views -- a shared Context and
- * KeyBundle -- and schedules N independent client requests across the
- * DeviceSet through a pool of submitter threads.
+ * Server that owns nothing but views -- a shared Context and the
+ * registered tenants' KeyBundles -- and schedules N independent
+ * client requests across the DeviceSet through a pool of submitter
+ * threads. Requests are keyed by tenant: each job resolves its
+ * tenant's evaluation keys at submit time (the single-bundle
+ * constructors register one default tenant), which is what lets a
+ * serve::Router shard tenants across many Servers and migrate them
+ * between shards (DESIGN.md §1.12).
  *
  * Each submitter holds a disjoint StreamLease (a contiguous slot
  * range on every device) and its own Evaluator, so the
@@ -27,11 +32,14 @@
 
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -118,7 +126,20 @@ class Server
         u64 accepted = 0;  //!< requests submitted
         u64 completed = 0; //!< requests fulfilled
         u64 failed = 0;    //!< requests that threw
+        u64 queued = 0;    //!< depth gauge: waiting + executing now
     };
+
+    /**
+     * The tenant every request of the single-bundle constructors
+     * belongs to. Ordinary tenant ids are small application values,
+     * so the sentinel stays out of their way.
+     */
+    static constexpr u64 kDefaultTenant = ~u64{0};
+
+    /** Fixed per-request latency histogram bounds (ms); the last
+     *  bucket of counts is +Inf. */
+    static constexpr std::array<double, 12> kLatencyBucketsMs = {
+        1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000, 20000};
 
     Server(const ckks::Context &ctx, const ckks::KeyBundle &keys,
            Options opt);
@@ -126,6 +147,12 @@ class Server
     Server(const ckks::Context &ctx, const ckks::KeyBundle &keys)
         : Server(ctx, keys, Options{})
     {}
+    /**
+     * Tenantless shard server (serve::Router): every serving tenant
+     * is registered explicitly, keyed by id, before its first
+     * submit(tenant, req).
+     */
+    Server(const ckks::Context &ctx, Options opt);
     /** Drains the queue, then joins the submitters. */
     ~Server();
 
@@ -133,26 +160,64 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Enqueues @p req and returns its completion handle. Thread-safe;
-     * blocks only when the bounded queue is full.
+     * Registers @p tenant's evaluation keys (and optional bootstrap
+     * engine) for submit(tenant, req). Re-registering replaces the
+     * previous entry; in-flight requests keep the bundle they
+     * resolved at submit time alive. Thread-safe.
      */
-    Handle submit(Request req);
+    void registerTenant(u64 tenant,
+                        std::shared_ptr<const ckks::KeyBundle> keys,
+                        const ckks::Bootstrapper *boot = nullptr);
+    /**
+     * Removes @p tenant (migration's source-side hook). Queued or
+     * executing requests of the tenant finish normally -- their jobs
+     * hold the key bundle; only NEW submits fatal. Call drain()
+     * first when the migration needs the tenant's work settled.
+     */
+    void unregisterTenant(u64 tenant);
+    /** Registered tenant count (observability). */
+    std::size_t tenants() const;
+
+    /**
+     * Enqueues @p req for @p tenant and returns its completion
+     * handle. The tenant's keys must be registered -- routing an
+     * unknown tenant is fatal (a misrouted request must never
+     * silently run under another tenant's keys). Thread-safe; blocks
+     * only when the bounded queue is full.
+     */
+    Handle submit(u64 tenant, Request req);
+    /** Single-bundle convenience: the constructor-registered keys. */
+    Handle submit(Request req)
+    {
+        return submit(kDefaultTenant, std::move(req));
+    }
 
     /** Blocks until every accepted request has been fulfilled. */
     void drain();
 
     Stats stats() const;
+    /**
+     * Prometheus-style text dump: serving counters, queue depth, the
+     * per-request latency histogram, and the Context's plan-cache
+     * stats (keys/hits/misses/arena bytes). @p label is prepended as
+     * a `shard="..."` label on every sample when non-empty.
+     */
+    std::string metricsText(const std::string &label = {}) const;
+
     u32 submitters() const { return numWorkers_; }
     const ckks::Context &context() const { return *ctx_; }
 
   private:
     struct Job;
+    struct Tenant
+    {
+        std::shared_ptr<const ckks::KeyBundle> keys;
+        const ckks::Bootstrapper *boot = nullptr;
+    };
 
     void workerLoop(u32 index);
 
     const ckks::Context *ctx_;
-    const ckks::KeyBundle *keys_;
-    const ckks::Bootstrapper *boot_;
     std::size_t capacity_;
     u32 numWorkers_ = 0; //!< fixed before any thread starts
 
@@ -164,6 +229,10 @@ class Server
     std::size_t busy_ = 0; //!< workers currently executing a request
     bool stop_ = false;
     Stats stats_;
+    std::map<u64, Tenant> tenants_;
+    //! Completed-request latency counts per kLatencyBucketsMs bucket,
+    //! plus the +Inf bucket at the end.
+    std::array<u64, kLatencyBucketsMs.size() + 1> latency_{};
 
     std::vector<std::thread> workers_;
 };

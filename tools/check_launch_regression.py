@@ -55,8 +55,20 @@ BM_BootstrapPerOp sibling IN THE SAME FILE -- the headline property
 of composite segment plans (DESIGN.md §1.10), machine-independent by
 construction.
 
-Usage: check_launch_regression.py [--skip-time-gate] BASELINE.json
-       FRESH.json [SERVE.json [BOOT_BASELINE.json BOOT_FRESH.json]]
+With --cluster BENCH_cluster.json, the cluster gate also runs: every
+row must report plan_cache_hits >= 1 (every shard serves from its
+replay steady state), the file must contain the 1- and 2-shard rows,
+and the 2-shard row must sustain at least CLUSTER_SCALING x the
+aggregate ops/s of the 1-shard row at the same total submitter
+budget -- the tentpole property of sharding the Server across
+Contexts. Like the serve gate, the ratio compares rows WITHIN the
+fresh file and is skipped (explicitly) below MIN_SERVE_CORES cores:
+on a 1-core box the second shard's submitters time-slice the same
+CPU the first shard already saturates.
+
+Usage: check_launch_regression.py [--skip-time-gate]
+       [--cluster CLUSTER.json] BASELINE.json FRESH.json
+       [SERVE.json [BOOT_BASELINE.json BOOT_FRESH.json]]
 
 --skip-time-gate drops the wall-clock band (Debug/sanitizer CI legs
 run the launch-economy gate against the Release-committed baseline;
@@ -74,6 +86,7 @@ TIME_TOLERANCE = 2.0  # coarse cross-machine wall-clock band
 SERVE_SCALING = 1.3  # multi-submitter ops/s vs 1 submitter
 MIN_SERVE_CORES = 4  # below this, extra submitters cannot add ops/s
 BOOT_SEG_FACTOR = 3.0  # seg vs per-op plan entries per bootstrap
+CLUSTER_SCALING = 1.3  # 2-shard aggregate ops/s vs 1 shard
 
 
 def load(path):
@@ -115,6 +128,39 @@ def check_serve(path, failures):
     if verdict == "FAIL":
         failures.append((peak["name"], "ops_per_sec scaling", ratio,
                          SERVE_SCALING))
+
+
+def check_cluster(path, failures):
+    """Cluster gate: per-shard replay steady state + shard scaling."""
+    rows = sorted(load(path).values(), key=lambda r: r["shards"])
+    if not rows:
+        sys.exit("FAIL: no benchmark rows in " + path)
+    for row in rows:
+        hits = row.get("plan_cache_hits", 0)
+        verdict = "OK  " if hits >= 1 else "FAIL"
+        print(f"{verdict} {row['name']} plan_cache_hits: {hits} "
+              "(floor 1)")
+        if verdict == "FAIL":
+            failures.append((row["name"], "plan_cache_hits", hits, 1))
+    by_shards = {row["shards"]: row for row in rows}
+    if 1 not in by_shards or 2 not in by_shards:
+        print("FAIL cluster scaling: need the 1- and 2-shard rows")
+        failures.append(("cluster", "rows", sorted(by_shards), [1, 2]))
+        return
+    base, two = by_shards[1], by_shards[2]
+    cores = min(r["cores"] for r in rows)
+    ratio = two["ops_per_sec"] / base["ops_per_sec"]
+    label = (f"cluster scaling: 2 shards at {ratio:.2f}x of 1 shard "
+             f"(floor {CLUSTER_SCALING}x)")
+    if cores < MIN_SERVE_CORES:
+        print(f"SKIP {label} -- {cores} core(s) < {MIN_SERVE_CORES}, "
+              "wall-clock shard scaling not expressible")
+        return
+    verdict = "OK  " if ratio >= CLUSTER_SCALING else "FAIL"
+    print(f"{verdict} {label}")
+    if verdict == "FAIL":
+        failures.append((two["name"], "ops_per_sec scaling", ratio,
+                         CLUSTER_SCALING))
 
 
 def check_rows(baseline, fresh, failures, time_gate,
@@ -213,8 +259,25 @@ def check_boot(base_path, fresh_path, failures, time_gate):
 
 
 def main():
-    args = [a for a in sys.argv[1:] if a != "--skip-time-gate"]
-    time_gate = "--skip-time-gate" not in sys.argv[1:]
+    raw = sys.argv[1:]
+    time_gate = "--skip-time-gate" not in raw
+    cluster_path = None
+    args = []
+    i = 0
+    while i < len(raw):
+        a = raw[i]
+        if a == "--skip-time-gate":
+            pass
+        elif a == "--cluster":
+            i += 1
+            if i >= len(raw):
+                sys.exit("--cluster requires a value")
+            cluster_path = raw[i]
+        elif a.startswith("--cluster="):
+            cluster_path = a.split("=", 1)[1]
+        else:
+            args.append(a)
+        i += 1
     if len(args) not in (2, 3, 5):
         sys.exit(__doc__)
     baseline = load(args[0])
@@ -229,6 +292,8 @@ def main():
         check_serve(args[2], failures)
     if len(args) == 5:
         check_boot(args[3], args[4], failures, time_gate)
+    if cluster_path is not None:
+        check_cluster(cluster_path, failures)
 
     if failures:
         sys.exit(f"FAIL: {len(failures)} launch-economy regression(s) "
