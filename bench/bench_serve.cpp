@@ -39,6 +39,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -60,6 +61,8 @@ u32 gDevices = 2;
 u32 gStreams = 8; //!< total streams across all devices
 u32 gRequests = 48;
 std::vector<u32> gSubmitters = {1, 4};
+u32 gMaxBatch = 4;      //!< batched rows' coalescing cap
+double gTargetRps = 0;  //!< >0: add open-loop Poisson rows
 std::string gJsonOut = "BENCH_serve.json";
 
 constexpr u32 kOpsPerRequest = 6; //!< statsProgram's homomorphic ops
@@ -83,15 +86,39 @@ statsProgram(Ciphertext x, Ciphertext y)
 struct RunResult
 {
     u32 submitters;
+    u32 maxBatch;
+    double targetRps; //!< 0 = closed loop
     double seconds;
     double p50Ms;
     double p99Ms;
     u64 planHits;
+    u64 batchedRequests;
+    double hostDispatchUs; //!< worker CPU us per homomorphic op
+    double launchesPerOp;
+    double kernelsPerOp;
 };
 
+u64
+totalLaunches(const DeviceSet &devs)
+{
+    u64 n = 0;
+    for (u32 d = 0; d < devs.numDevices(); ++d)
+        n += devs.device(d).counters().launches;
+    return n;
+}
+
+/**
+ * One measured serving run. @p maxBatch > 1 turns on the continuous
+ * batcher (cross-request op coalescing); @p targetRps > 0 switches
+ * from closed-loop (submit everything, then join) to an open-loop
+ * Poisson arrival process at that rate -- exponential inter-arrival
+ * gaps from a fixed seed, so p50/p99 measure latency under load
+ * rather than under a synchronized burst.
+ */
 RunResult
 runOnce(const Context &ctx, const KeyBundle &keys,
-        const Ciphertext &x, const Ciphertext &y, u32 submitters)
+        const Ciphertext &x, const Ciphertext &y, u32 submitters,
+        u32 maxBatch, double targetRps)
 {
     // Requests are pre-built so the measured region contains only
     // serving work (the clone traffic is client-side in the paper's
@@ -102,16 +129,31 @@ runOnce(const Context &ctx, const KeyBundle &keys,
         requests.push_back(statsProgram(x.clone(), y.clone()));
     ctx.devices().synchronize();
     const u64 hits0 = ctx.devices().planReplays();
+    const u64 launches0 = totalLaunches(ctx.devices());
+    const u64 kernels0 = ctx.devices().logicalKernels();
 
     Server::Options opt;
     opt.submitters = submitters;
+    opt.maxBatch = maxBatch;
     Server server(ctx, keys, opt);
+
+    std::mt19937_64 rng(0xF1DE5u); // deterministic arrival schedule
+    std::exponential_distribution<double> gap(
+        targetRps > 0 ? targetRps : 1.0);
 
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<Handle> handles;
     handles.reserve(requests.size());
-    for (Request &r : requests)
+    auto next = t0;
+    for (Request &r : requests) {
+        if (targetRps > 0) {
+            next += std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(gap(rng)));
+            std::this_thread::sleep_until(next);
+        }
         handles.push_back(server.submit(std::move(r)));
+    }
     std::vector<double> latencies;
     latencies.reserve(handles.size());
     for (Handle &h : handles) {
@@ -122,6 +164,8 @@ runOnce(const Context &ctx, const KeyBundle &keys,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
+    const Server::Stats st = server.stats();
+    ctx.devices().synchronize();
 
     std::sort(latencies.begin(), latencies.end());
     auto pct = [&](double p) {
@@ -129,8 +173,22 @@ runOnce(const Context &ctx, const KeyBundle &keys,
             p * static_cast<double>(latencies.size() - 1));
         return latencies[i];
     };
-    return {submitters, seconds, pct(0.50), pct(0.99),
-            ctx.devices().planReplays() - hits0};
+    const double ops = static_cast<double>(st.executedOps);
+    return {submitters,
+            maxBatch,
+            targetRps,
+            seconds,
+            pct(0.50),
+            pct(0.99),
+            ctx.devices().planReplays() - hits0,
+            st.batchedRequests,
+            static_cast<double>(st.dispatchCpuNs) / 1e3 / ops,
+            static_cast<double>(totalLaunches(ctx.devices()) -
+                                launches0) /
+                ops,
+            static_cast<double>(ctx.devices().logicalKernels() -
+                                kernels0) /
+                ops};
 }
 
 //! serve_bootstrap row shape: one bootstrap plus the two follow-up
@@ -279,6 +337,10 @@ parseFlags(int argc, char **argv)
                     std::atoi(list.substr(p, c - p).c_str())));
                 p = c + 1;
             }
+        } else if (std::strncmp(a, "--max_batch", 11) == 0) {
+            gMaxBatch = static_cast<u32>(std::atoi(value(i)));
+        } else if (std::strncmp(a, "--target_rps", 12) == 0) {
+            gTargetRps = std::atof(value(i));
         } else if (std::strncmp(a, "--json_out", 10) == 0) {
             gJsonOut = value(i);
         } else {
@@ -333,9 +395,26 @@ main(int argc, char **argv)
                 gDevices, ctx.devices().streamsPerDevice(), gRequests,
                 kOpsPerRequest, cores);
 
+    // Row schedule: closed-loop unbatched per submitter count,
+    // closed-loop batched for the multi-submitter counts (the A/B the
+    // batching gate compares), then open-loop Poisson rows at
+    // --target_rps when requested.
     std::vector<RunResult> rows;
     for (u32 s : gSubmitters)
-        rows.push_back(runOnce(ctx, keys, x, y, s));
+        rows.push_back(runOnce(ctx, keys, x, y, s, 1, 0));
+    if (gMaxBatch > 1)
+        for (u32 s : gSubmitters)
+            if (s > 1)
+                rows.push_back(
+                    runOnce(ctx, keys, x, y, s, gMaxBatch, 0));
+    if (gTargetRps > 0) {
+        const u32 s = *std::max_element(gSubmitters.begin(),
+                                        gSubmitters.end());
+        rows.push_back(runOnce(ctx, keys, x, y, s, 1, gTargetRps));
+        if (gMaxBatch > 1 && s > 1)
+            rows.push_back(
+                runOnce(ctx, keys, x, y, s, gMaxBatch, gTargetRps));
+    }
 
     kernels::PlanCacheStats ps = ctx.planStats();
     std::FILE *f = std::fopen(gJsonOut.c_str(), "w");
@@ -346,20 +425,35 @@ main(int argc, char **argv)
         const RunResult &r = rows[i];
         const double reqPerSec =
             static_cast<double>(gRequests) / r.seconds;
-        std::printf("  submitters=%u  %8.1f req/s  %8.1f ops/s  "
-                    "p50 %6.2f ms  p99 %6.2f ms\n",
-                    r.submitters, reqPerSec, reqPerSec * kOpsPerRequest,
-                    r.p50Ms, r.p99Ms);
+        std::string name = "serve_s" + std::to_string(r.submitters);
+        if (r.targetRps > 0)
+            name += "_open";
+        if (r.maxBatch > 1)
+            name += "_batch";
+        std::printf("  %-18s  %8.1f req/s  %8.1f ops/s  "
+                    "p50 %6.2f ms  p99 %6.2f ms  dispatch %6.1f "
+                    "us/op  batched %llu\n",
+                    name.c_str(), reqPerSec,
+                    reqPerSec * kOpsPerRequest, r.p50Ms, r.p99Ms,
+                    r.hostDispatchUs,
+                    static_cast<unsigned long long>(
+                        r.batchedRequests));
         std::fprintf(
             f,
-            "  {\"name\": \"serve_s%u\", \"submitters\": %u, "
+            "  {\"name\": \"%s\", \"submitters\": %u, "
+            "\"max_batch\": %u, \"target_rps\": %.1f, "
             "\"requests\": %u, \"ops_per_request\": %u, "
             "\"requests_per_sec\": %.2f, \"ops_per_sec\": %.2f, "
             "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+            "\"host_dispatch_us\": %.3f, \"launches_per_op\": %.3f, "
+            "\"kernels_per_op\": %.3f, \"batched_requests\": %llu, "
             "\"plan_cache_hits\": %llu, \"plan_keys\": %zu, "
             "\"plan_arena_mb\": %.2f, \"cores\": %u}%s\n",
-            r.submitters, r.submitters, gRequests, kOpsPerRequest,
-            reqPerSec, reqPerSec * kOpsPerRequest, r.p50Ms, r.p99Ms,
+            name.c_str(), r.submitters, r.maxBatch, r.targetRps,
+            gRequests, kOpsPerRequest, reqPerSec,
+            reqPerSec * kOpsPerRequest, r.p50Ms, r.p99Ms,
+            r.hostDispatchUs, r.launchesPerOp, r.kernelsPerOp,
+            static_cast<unsigned long long>(r.batchedRequests),
             static_cast<unsigned long long>(r.planHits),
             ps.keys.size(),
             static_cast<double>(ps.reservedBytes) / 1e6, cores, ",");

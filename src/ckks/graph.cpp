@@ -1,5 +1,6 @@
 #include "ckks/graph.hpp"
 
+#include <chrono>
 #include <exception>
 
 #include "check/check.hpp"
@@ -10,6 +11,35 @@ namespace fideslib::ckks::kernels
 
 namespace
 {
+
+thread_local u64 tlDispatchNs = 0;
+
+/** Accumulates the enclosing scope's thread CPU time into the
+ *  calling thread's dispatch-engine counter (dispatchEngineNs). CPU
+ *  time rather than wall time: the engine sections run concurrently
+ *  with the stream threads executing earlier waves, so on small
+ *  machines wall deltas would mostly measure preemption, not
+ *  dispatch work. */
+struct DispatchTimer
+{
+    u64 t0 = now();
+    ~DispatchTimer() { tlDispatchNs += now() - t0; }
+
+    static u64 now()
+    {
+#ifdef __linux__
+        timespec ts;
+        clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+        return static_cast<u64>(ts.tv_sec) * 1000000000ull +
+               static_cast<u64>(ts.tv_nsec);
+#else
+        return static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+#endif
+    }
+};
 
 /** The limb range of @p d that batch [lo, hi) touches -- the same
  *  mapping the live hazard tracking in kernels.cpp uses. */
@@ -476,6 +506,29 @@ GraphCapture::finish()
             graph_->nodes[w].observed = true;
     for (const GraphExitNote &x : graph_->exits)
         graph_->nodes[x.node].observed = true;
+    // Compile the executable form: the node list flattened into
+    // per-stream programs in capture order (which IS each stream's
+    // submission order -- streams are in-order queues, so a linear
+    // sweep of one stream's steps reproduces the recorded schedule).
+    // A std::map keys the programs by recorded stream id, so the
+    // compiled order is deterministic across captures.
+    {
+        std::map<u32, std::size_t> progOf;
+        for (u32 c = 0; c < graph_->calls.size(); ++c) {
+            const GraphCall &call = graph_->calls[c];
+            for (u32 k = 0; k < call.numNodes; ++k) {
+                const u32 n = call.firstNode + k;
+                const u32 sid = graph_->nodes[n].streamId;
+                auto it = progOf.find(sid);
+                if (it == progOf.end()) {
+                    it = progOf.emplace(sid, graph_->exec.streams.size())
+                             .first;
+                    graph_->exec.streams.push_back({sid, {}});
+                }
+                graph_->exec.streams[it->second].steps.push_back({n, c});
+            }
+        }
+    }
     return std::move(graph_);
 }
 
@@ -486,6 +539,14 @@ GraphReplay::GraphReplay(const Context &ctx, const KernelGraph &graph)
 {
     bound_.reserve(graph.numSlots);
     nodeEvents_.resize(graph.nodes.size());
+}
+
+GraphReplay::GraphReplay(const Context &ctx, const KernelGraph &graph,
+                         DeferredProgram *sink)
+    : GraphReplay(ctx, graph)
+{
+    FIDES_ASSERT(sink != nullptr);
+    sink_ = sink;
 }
 
 void
@@ -513,10 +574,15 @@ GraphReplay::nextCall(bool custom)
 }
 
 void
-GraphReplay::enqueueWaits(Stream &st, const GraphNode &node)
+GraphReplay::gatherWaits(const Stream &st, const GraphNode &node,
+                         std::vector<Event> &waits) const
 {
-    std::vector<Event> waits;
     auto consider = [&](const Event &e) {
+        // Same-stream pruning stays sound in deferred mode: a
+        // deferred event's streamId is the remapped stream the node
+        // WILL retire on, and the flush preserves collection order
+        // per stream, so in-order execution covers the dependency by
+        // the time anything runs.
         if (e.ready() || e.streamId() == st.id())
             return;
         for (const Event &w : waits)
@@ -539,6 +605,11 @@ GraphReplay::enqueueWaits(Stream &st, const GraphNode &node)
                     consider(r);
         }
     }
+}
+
+void
+GraphReplay::submitWaits(Stream &st, std::vector<Event> &waits)
+{
     if (waits.empty())
         return;
     if (waits.size() == 1) {
@@ -574,6 +645,48 @@ GraphReplay::replayCall(
 
     DeviceSet &devs = ctx_->devices();
     const StreamLease &lease = ctx_->streamLease();
+
+    if (sink_) {
+        // Deferred collection: resolve everything a flush needs NOW
+        // (streams against this instance's lease, waits against the
+        // current event state, declared accesses against the bound
+        // operands) but submit nothing. Completion events are
+        // pre-created so recorded out-params and exit notes carry
+        // handles identical in behaviour to live-recorded ones.
+        const u32 callIdx = static_cast<u32>(callCursor_ - 1);
+        DeferredProgram::CallRec &cr = sink_->calls[callIdx];
+        cr.body = fn;
+        cr.keep.reserve(deps.size());
+        for (const Dep &d : deps)
+            cr.keep.push_back(d.poly->partShared());
+        for (u32 k = 0; k < call.numNodes; ++k) {
+            const u32 idx = static_cast<u32>(nodeCursor_++);
+            const GraphNode &node = graph_->nodes[idx];
+            Stream &st = lease.remap(node.streamId);
+            DeferredProgram::NodeRec &nr = sink_->nodes[idx];
+            nr.stream = &st;
+            nr.call = callIdx;
+            nr.lo = node.lo;
+            nr.hi = node.hi;
+            KernelCounters &c = sink_->perDevice[st.device().id()];
+            c.launches += 1;
+            c.bytesRead += (node.hi - node.lo) * bytesReadPerLimb;
+            c.bytesWritten += (node.hi - node.lo) * bytesWrittenPerLimb;
+            c.intOps += (node.hi - node.lo) * intOpsPerLimb;
+            gatherWaits(st, node, nr.waits);
+            if (check::enabled())
+                nr.declared = declaredAccesses(deps, node.lo, node.hi);
+            if (node.observed || recorded) {
+                Event ev = Event::makeDeferred(st.id());
+                sink_->events[idx] = ev;
+                nodeEvents_[idx] = ev;
+                if (recorded)
+                    recorded->push_back(std::move(ev));
+            }
+        }
+        return;
+    }
+
     if (devs.numStreams() == 1) {
         // Inline replay: batches run eagerly in capture order, which
         // is the live submission order -- bit-identical by
@@ -614,6 +727,25 @@ GraphReplay::replayCall(
             p->keep.push_back(d.poly->partShared());
     }
 
+    // Pass 1 -- plan bookkeeping, untimed: derive every node's wait
+    // set. Sound as a separate pass because batches of one call touch
+    // disjoint state (the forBatches contract), so in-graph edges only
+    // ever point at earlier calls' nodes -- asserted below.
+    const u32 firstNode = static_cast<u32>(nodeCursor_);
+    waitScratch_.resize(call.numNodes);
+    for (u32 k = 0; k < call.numNodes; ++k) {
+        const GraphNode &node = graph_->nodes[firstNode + k];
+        for (u32 j : node.waits)
+            FIDES_ASSERT(j < firstNode);
+        waitScratch_[k].clear();
+        gatherWaits(lease.remap(node.streamId), node, waitScratch_[k]);
+    }
+
+    // Pass 2 -- the queue-facing sweep, timed as dispatch-engine
+    // cost: launch accounting, wait enqueue, task submission and
+    // event records (the simulated CUDA API surface a live replay
+    // pays per node and a batched flush pays once per group).
+    DispatchTimer timer;
     for (u32 k = 0; k < call.numNodes; ++k) {
         const u32 idx = static_cast<u32>(nodeCursor_++);
         const GraphNode &node = graph_->nodes[idx];
@@ -625,7 +757,7 @@ GraphReplay::replayCall(
             (node.hi - node.lo) * bytesReadPerLimb,
             (node.hi - node.lo) * bytesWrittenPerLimb,
             (node.hi - node.lo) * intOpsPerLimb);
-        enqueueWaits(st, node);
+        submitWaits(st, waitScratch_[k]);
         const std::size_t lo = node.lo, hi = node.hi;
         if (check::enabled()) {
             auto rec = check::beginLaunch(
@@ -658,25 +790,59 @@ GraphReplay::beginCustomCall(const RNSPoly *srcPoly,
         FIDES_ASSERT(call.depSlots[1] == GraphNode::kNone);
 }
 
+Event
+GraphReplay::deferCustomNode(
+    u64 bytesRead, u64 bytesWritten, u64 intOps,
+    std::function<void(const std::shared_ptr<check::LaunchRecord> &)> run)
+{
+    FIDES_ASSERT(sink_ != nullptr);
+    FIDES_ASSERT(nodeCursor_ < graph_->nodes.size());
+    const u32 idx = static_cast<u32>(nodeCursor_++);
+    const GraphNode &node = graph_->nodes[idx];
+    Stream &st = ctx_->streamLease().remap(node.streamId);
+    DeferredProgram::NodeRec &nr = sink_->nodes[idx];
+    nr.stream = &st;
+    nr.custom = std::move(run);
+    KernelCounters &c = sink_->perDevice[st.device().id()];
+    c.launches += 1;
+    c.bytesRead += bytesRead;
+    c.bytesWritten += bytesWritten;
+    c.intOps += intOps;
+    gatherWaits(st, node, nr.waits);
+    // Custom events are unconditionally consumed by the dispatcher's
+    // launch list, so always pre-create one (live replay records one
+    // unconditionally too).
+    Event ev = Event::makeDeferred(st.id());
+    sink_->events[idx] = ev;
+    nodeEvents_[idx] = ev;
+    return ev;
+}
+
 Stream *
 GraphReplay::customNode(u64 bytesRead, u64 bytesWritten, u64 intOps)
 {
+    FIDES_ASSERT(sink_ == nullptr); // deferred mode uses deferCustomNode
     FIDES_ASSERT(nodeCursor_ < graph_->nodes.size());
     const GraphNode &node = graph_->nodes[nodeCursor_];
     DeviceSet &devs = ctx_->devices();
     Stream &st = ctx_->streamLease().remap(node.streamId);
-    st.device().launchReplayed(bytesRead, bytesWritten, intOps);
     if (devs.numStreams() == 1) {
+        st.device().launchReplayed(bytesRead, bytesWritten, intOps);
         ++nodeCursor_;
         return nullptr;
     }
-    enqueueWaits(st, node);
+    std::vector<Event> waits;
+    gatherWaits(st, node, waits);
+    DispatchTimer timer;
+    st.device().launchReplayed(bytesRead, bytesWritten, intOps);
+    submitWaits(st, waits);
     return &st;
 }
 
 void
 GraphReplay::noteCustomEvent(const Event &ev)
 {
+    FIDES_ASSERT(sink_ == nullptr);
     nodeEvents_[nodeCursor_++] = ev;
 }
 
@@ -688,6 +854,10 @@ GraphReplay::finish()
     FIDES_ASSERT(bound_.size() == graph_->numSlots);
     if (ctx_->devices().numStreams() == 1)
         return; // inline: nothing pending, nothing to note
+    // In deferred mode the exit notes carry the pre-created events:
+    // downstream live work (the next op in the batch's lockstep walk)
+    // chains off them through the ordinary limb tracking, blocking
+    // stream-side until the flush signals them.
     for (const GraphExitNote &x : graph_->exits) {
         const LimbPartition &p = *bound_[x.slot];
         FIDES_ASSERT(x.limb < p.size());
@@ -696,6 +866,220 @@ GraphReplay::finish()
         else
             p[x.limb].noteRead(nodeEvents_[x.node]);
     }
+    if (sink_) {
+        DeviceSet &devs = ctx_->devices();
+        for (u32 d = 0; d < devs.numDevices(); ++d)
+            if (sink_->perDevice[d].launches)
+                devs.device(d).launchReplayedBulk(sink_->perDevice[d]);
+        sink_->complete = true;
+    }
+}
+
+// --- BatchSession -----------------------------------------------------
+
+BatchSession::BatchSession(const Context &ctx) : ctx_(&ctx)
+{
+    // Single-stream execution is inline (bodies run on the collecting
+    // thread as they are walked); there is nothing to defer and the
+    // pre-created events would deadlock the inline waits.
+    FIDES_ASSERT(ctx.devices().numStreams() > 1);
+    FIDES_ASSERT(ctx.batchSession() == nullptr);
+    ctx.setBatchSession(this);
+}
+
+BatchSession::~BatchSession()
+{
+    flush();
+    ctx_->setBatchSession(nullptr);
+}
+
+void
+BatchSession::beginInstance(u32)
+{
+    scopePos_ = 0;
+}
+
+void
+BatchSession::notePosition(const PlanKey &key, u32 pos)
+{
+    // The batch former only groups requests whose programs walk an
+    // identical plan-key sequence; a divergence here is a grouping
+    // bug, not a user error.
+    if (posKeys_.size() <= pos) {
+        FIDES_ASSERT(posKeys_.size() == pos);
+        posKeys_.push_back(key);
+        return;
+    }
+    const PlanKey &k = posKeys_[pos];
+    FIDES_ASSERT(!(k < key) && !(key < k));
+}
+
+BatchSession::Engage
+BatchSession::beginReplay(const KernelGraph &graph, const PlanKey &key)
+{
+    const u32 pos = scopePos_++;
+    notePosition(key, pos);
+    if (spinPaid_.size() <= pos)
+        spinPaid_.resize(pos + 1, false);
+    const bool pay = !spinPaid_[pos];
+    spinPaid_[pos] = true;
+
+    auto prog = std::make_shared<DeferredProgram>();
+    prog->graph = &graph;
+    prog->calls.resize(graph.calls.size());
+    prog->nodes.resize(graph.nodes.size());
+    prog->events.resize(graph.nodes.size());
+    prog->perDevice.resize(ctx_->devices().numDevices());
+    Engage out{prog.get(), pay};
+    programs_.push_back(std::move(prog));
+    return out;
+}
+
+void
+BatchSession::noteCapture(const PlanKey &key)
+{
+    notePosition(key, scopePos_++);
+    // The capture executes LIVE: its kernels chain off operand events
+    // through the ordinary tracking, and the same-stream wait-pruning
+    // fast paths are only sound against physically enqueued work --
+    // so everything deferred so far must be flushed first. Position
+    // bookkeeping survives (the flush is mid-op, not an op boundary):
+    // later instances at already-paid positions still skip the spin.
+    flushPrograms();
+}
+
+void
+BatchSession::executeComposite(
+    const std::shared_ptr<DeferredProgram> &prog)
+{
+    // One task per ACTUAL stream: the PlanExec stream programs after
+    // the instance's lease remap. Sweeping nodes in index order and
+    // bucketing by their collected (remapped) stream yields exactly
+    // that -- and handles folded leases for free: when the lease maps
+    // two recorded streams onto one actual stream, their programs
+    // merge in node-index (= collection) order, which is the order
+    // the same-stream wait pruning assumed at collection time. The
+    // tasks never touch the KernelGraph (the plan-cache lease is
+    // released when the flush returns); the NodeRecs carry everything
+    // a step needs.
+    std::vector<std::pair<Stream *, std::vector<u32>>> buckets;
+    for (u32 idx = 0; idx < prog->nodes.size(); ++idx) {
+        Stream *st = prog->nodes[idx].stream;
+        FIDES_ASSERT(st != nullptr);
+        std::vector<u32> *steps = nullptr;
+        for (auto &b : buckets)
+            if (b.first == st) {
+                steps = &b.second;
+                break;
+            }
+        if (steps == nullptr) {
+            buckets.emplace_back(st, std::vector<u32>{});
+            steps = &buckets.back().second;
+        }
+        steps->push_back(idx);
+    }
+    for (auto &b : buckets) {
+        b.first->submit([prog, steps = std::move(b.second)] {
+            for (u32 idx : steps) {
+                const DeferredProgram::NodeRec &nr = prog->nodes[idx];
+                for (const Event &e : nr.waits)
+                    e.synchronize();
+                if (nr.custom)
+                    nr.custom(nullptr);
+                else
+                    prog->calls[nr.call].body(nr.lo, nr.hi);
+                const Event &ev = prog->events[idx];
+                if (ev.valid())
+                    ev.signalDeferred();
+            }
+        });
+    }
+}
+
+void
+BatchSession::executeClassic(const std::shared_ptr<DeferredProgram> &prog)
+{
+    // Per-node walk, used when the validator is on (per-launch
+    // records and clocks) or the lease folds recorded streams. One
+    // task per node runs waits + body + completion signal.
+    for (std::size_t i = 0; i < prog->nodes.size(); ++i) {
+        const DeferredProgram::NodeRec &nr = prog->nodes[i];
+        Stream &st = *nr.stream;
+        std::shared_ptr<check::LaunchRecord> rec;
+        const Event &ev = prog->events[i];
+        if (check::enabled()) {
+            // The combined wait + launch protocol of a solo replay:
+            // report the happens-before edges, allocate the launch's
+            // epoch, then snapshot the stream clock into the deferred
+            // event (what record() would have taken).
+            for (const Event &e : nr.waits)
+                check::onStreamWait(&st, e);
+            rec = check::beginLaunch(&st, nr.declared);
+            if (ev.valid())
+                ev.bindDeferredClock(check::makeEventClock(&st));
+        }
+        st.submit([prog, i, rec] {
+            const DeferredProgram::NodeRec &node = prog->nodes[i];
+            for (const Event &e : node.waits)
+                e.synchronize();
+            if (node.custom) {
+                node.custom(rec);
+            } else if (rec) {
+                check::BodyScope scope(rec);
+                prog->calls[node.call].body(node.lo, node.hi);
+            } else {
+                prog->calls[node.call].body(node.lo, node.hi);
+            }
+            const Event &done = prog->events[i];
+            if (done.valid())
+                done.signalDeferred();
+        });
+    }
+}
+
+void
+BatchSession::flushPrograms()
+{
+    if (programs_.empty())
+        return;
+    DispatchTimer timer;
+    // Lease aggregation: the collected programs span every grouped
+    // instance's lease, so the flushing thread widens its own to the
+    // whole set for the duration (restored below -- the batch former
+    // reinstalls a per-instance lease at the next position anyway).
+    const StreamLease *saved = ctx_->installedThreadLease();
+    ctx_->setThreadLease(nullptr);
+    for (const auto &prog : programs_) {
+        if (!prog->complete) {
+            // Unwound mid-collection: the outputs are dead, but the
+            // pre-created events escaped into deferred-free guards
+            // and recorded out-params -- signal them so nothing
+            // (pool reclamation, stream waiters) blocks forever.
+            for (const Event &ev : prog->events)
+                if (ev.valid())
+                    ev.signalDeferred();
+        } else if (!check::enabled()) {
+            executeComposite(prog);
+            ++compositeFlushes_;
+        } else {
+            // The validator needs per-launch records and clocks, so
+            // validated runs flush one task per node.
+            executeClassic(prog);
+        }
+        ++flushedPrograms_;
+        ctx_->plans().release();
+    }
+    programs_.clear();
+    ctx_->setThreadLease(saved);
+}
+
+void
+BatchSession::flush()
+{
+    flushPrograms();
+    scopePos_ = 0;
+    posKeys_.clear();
+    spinPaid_.clear();
 }
 
 // --- PlanScope --------------------------------------------------------
@@ -718,13 +1102,29 @@ PlanScope::PlanScope(const Context &ctx, PlanOp op, u32 level,
     PlanCache::Lease lease = ctx.plans().acquire(key_);
     if (lease.role == PlanCache::Role::Replay) {
         ctx.devices().notePlanReplay();
-        // cudaGraphLaunch economics: one dispatch overhead for the
-        // whole replayed graph instead of one per kernel launch.
-        spinNs(ctx.devices().device(0).launchOverheadNs());
-        replay_ = std::make_unique<GraphReplay>(ctx, *lease.graph);
+        if (BatchSession *bs = ctx.batchSession()) {
+            // Multi-instance replay: collect instead of submit, and
+            // pay the whole-graph overhead once per scope position
+            // per batch -- instances 2..k ride the first one's spin.
+            BatchSession::Engage e = bs->beginReplay(*lease.graph, key_);
+            if (e.paySpin) {
+                DispatchTimer timer;
+                spinNs(ctx.devices().device(0).launchOverheadNs());
+            }
+            replay_ = std::make_unique<GraphReplay>(ctx, *lease.graph,
+                                                    e.program);
+        } else {
+            // cudaGraphLaunch economics: one dispatch overhead for
+            // the whole replayed graph instead of one per launch.
+            DispatchTimer timer;
+            spinNs(ctx.devices().device(0).launchOverheadNs());
+            replay_ = std::make_unique<GraphReplay>(ctx, *lease.graph);
+        }
         ctx.setReplaySession(replay_.get());
     } else {
         ctx.devices().notePlanCapture();
+        if (BatchSession *bs = ctx.batchSession())
+            bs->noteCapture(key_);
         capture_ = std::make_unique<GraphCapture>(ctx);
         ctx.setCaptureSession(capture_.get());
     }
@@ -741,7 +1141,10 @@ PlanScope::~PlanScope()
         // are dead on the unwind path anyway).
         if (std::uncaught_exceptions() == 0)
             replay_->finish();
-        ctx_->plans().release();
+        // A deferred replay's lease is released by the flush -- the
+        // graph must stay alive until its collected program executes.
+        if (!replay_->deferred())
+            ctx_->plans().release();
         return;
     }
     ctx_->setCaptureSession(nullptr);
@@ -759,6 +1162,12 @@ PlanScope::~PlanScope()
     reserveScaledScratch(ctx_->devices(), graph->scratch,
                          ctx_->planArenaMultiplier());
     ctx_->plans().publish(key_, std::move(graph));
+}
+
+u64
+dispatchEngineNs()
+{
+    return tlDispatchNs;
 }
 
 } // namespace fideslib::ckks::kernels
